@@ -1,0 +1,161 @@
+// Command mdexp reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	mdexp [-n insts] [-bench list] [-par N] <experiment>...
+//
+// Experiments: fig1 table3 fig2 fig3 fig4 fig5 fig6 table4 fig7 summary
+// abl-mdpt abl-flush abl-window abl-storesets all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mdspec/internal/experiments"
+)
+
+var order = []string{"fig1", "table3", "fig2", "fig3", "fig4", "fig5", "fig6",
+	"table4", "fig7", "summary", "abl-mdpt", "abl-flush", "abl-window",
+	"abl-storesets", "abl-recovery", "abl-bpred"}
+
+func main() {
+	insts := flag.Int64("n", 150_000, "committed instructions per (benchmark, config) run")
+	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all 18)")
+	par := flag.Int("par", 0, "max concurrent simulations (default: GOMAXPROCS)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mdexp [flags] <experiment>...\nexperiments: %s all\n", strings.Join(order, " "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	names := flag.Args()
+	if len(names) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opt := experiments.Options{Insts: *insts, Parallel: *par}
+	if *benchList != "" {
+		opt.Benchmarks = strings.Split(*benchList, ",")
+	}
+	runner := experiments.NewRunner(opt)
+
+	if len(names) == 1 && names[0] == "all" {
+		names = order
+	}
+	for _, name := range names {
+		start := time.Now()
+		out, err := run(runner, name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdexp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s took %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+}
+
+func run(r *experiments.Runner, name string) (string, error) {
+	switch name {
+	case "fig1":
+		rows, err := experiments.Figure1(r)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure1(rows), nil
+	case "table3":
+		rows, err := experiments.Table3(r)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable3(rows), nil
+	case "fig2":
+		rows, err := experiments.Figure2(r)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure2(rows), nil
+	case "fig3":
+		rows, err := experiments.Figure3(r)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure3(rows), nil
+	case "fig4":
+		rows, err := experiments.Figure4(r)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure4(rows), nil
+	case "fig5":
+		rows, err := experiments.Figure5(r)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure5(rows), nil
+	case "fig6":
+		rows, err := experiments.Figure6(r)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure6(rows), nil
+	case "table4":
+		rows, err := experiments.Figure6(r)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable4(rows), nil
+	case "fig7":
+		rows, err := experiments.Figure7(r)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure7(rows), nil
+	case "summary":
+		rows, err := experiments.Summary(r)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderSummary(rows), nil
+	case "abl-mdpt":
+		rows, err := experiments.AblationMDPTSize(r)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderMDPTSize(rows), nil
+	case "abl-flush":
+		rows, err := experiments.AblationFlush(r)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFlush(rows), nil
+	case "abl-window":
+		rows, err := experiments.AblationWindow(r)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderWindow(rows), nil
+	case "abl-storesets":
+		rows, err := experiments.AblationStoreSets(r)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderStoreSets(rows), nil
+	case "abl-recovery":
+		rows, err := experiments.AblationRecovery(r)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderRecovery(rows), nil
+	case "abl-bpred":
+		rows, err := experiments.AblationBPred(r)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderBPred(rows), nil
+	}
+	return "", fmt.Errorf("unknown experiment %q", name)
+}

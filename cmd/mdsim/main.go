@@ -1,0 +1,138 @@
+// Command mdsim runs a single simulation: one benchmark (or named
+// kernel) under one configuration, printing the full statistics.
+//
+// Usage:
+//
+//	mdsim [-n insts] [-w bench] [-policy NO|NAV|SEL|STORE|SYNC|ORACLE|SSET]
+//	      [-as] [-aslat N] [-split N] [-window N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mdspec/internal/config"
+	"mdspec/internal/core"
+	"mdspec/internal/emu"
+	"mdspec/internal/prog"
+	"mdspec/internal/stats"
+	"mdspec/internal/workload"
+)
+
+func main() {
+	n := flag.Int64("n", 200_000, "committed instructions to simulate")
+	bench := flag.String("w", "126.gcc", "benchmark name (Table 1) or kernel: recurrence, stream, chase, taskboundary")
+	profilePath := flag.String("profile", "", "JSON workload profile file (overrides -w)")
+	policy := flag.String("policy", "NO", "memory dependence speculation policy")
+	useAS := flag.Bool("as", false, "use an address-based load/store scheduler")
+	asLat := flag.Int("aslat", 0, "address scheduler latency in cycles (with -as)")
+	split := flag.Int("split", 0, "split the window into N units (0 = continuous)")
+	window := flag.Int("window", 128, "instruction window size (64 selects the paper's small machine)")
+	selinv := flag.Bool("selinv", false, "recover with selective invalidation instead of squashing")
+	wrongPath := flag.Bool("wrongpath", false, "model wrong-path instruction fetch during mispredictions")
+	sample := flag.String("sample", "", "sampled simulation as T:F instructions (e.g. 50000:100000)")
+	flag.Parse()
+
+	pol, err := config.ParsePolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg config.Machine
+	if *window == 64 {
+		cfg = config.Small64()
+	} else {
+		cfg = config.Default128()
+		cfg.Window = *window
+	}
+	cfg = cfg.WithPolicy(pol)
+	if *useAS {
+		cfg = cfg.WithAddressScheduler(*asLat)
+	}
+	if *split > 0 {
+		cfg = cfg.WithSplitWindow(*split)
+	}
+	if *selinv {
+		cfg = cfg.WithRecovery(config.RecoverySelective)
+	}
+	cfg.WrongPathFetch = *wrongPath
+
+	var p *prog.Program
+	if *profilePath != "" {
+		pr, err := workload.LoadProfile(*profilePath)
+		if err != nil {
+			fatal(err)
+		}
+		if p, err = workload.Generate(pr); err != nil {
+			fatal(err)
+		}
+		*bench = pr.Name
+	} else {
+		var err error
+		if p, err = buildWorkload(*bench); err != nil {
+			fatal(err)
+		}
+	}
+	pl, err := core.New(cfg, emu.NewTrace(emu.New(p)))
+	if err != nil {
+		fatal(err)
+	}
+	var r *stats.Run
+	if *sample != "" {
+		var tw, fw int64
+		if _, err := fmt.Sscanf(*sample, "%d:%d", &tw, &fw); err != nil {
+			fatal(fmt.Errorf("bad -sample %q (want T:F): %v", *sample, err))
+		}
+		if r, err = pl.RunSampled(*n, tw, fw); err != nil {
+			fatal(err)
+		}
+	} else if r, err = pl.Run(*n); err != nil {
+		fatal(err)
+	}
+	r.Workload = *bench
+
+	fmt.Println(r)
+	fmt.Printf("  committed: %d insts (%d loads, %d stores) in %d cycles -> IPC %.3f\n",
+		r.Committed, r.CommittedLoads, r.CommittedStores, r.Cycles, r.IPC())
+	fmt.Printf("  misspeculations: %d (%.4f%% of loads), squashed insts: %d\n",
+		r.Misspeculations, 100*r.MisspecRate(), r.SquashedInsts)
+	fmt.Printf("  false deps: %.1f%% of loads, %.1f cycles mean resolution\n",
+		100*r.FalseDepRate(), r.FalseDepLatency())
+	fmt.Printf("  branches: %d (%.2f%% mispredicted)\n", r.Branches, 100*r.BranchMissRate())
+	fmt.Printf("  D-cache: %d/%d misses (%.1f%%)  I-cache: %d/%d (%.1f%%)\n",
+		r.DCacheMisses, r.DCacheAccesses, 100*missRate(r.DCacheMisses, r.DCacheAccesses),
+		r.ICacheMisses, r.ICacheAccesses, 100*missRate(r.ICacheMisses, r.ICacheAccesses))
+	fmt.Printf("  store-buffer forwards: %d, policy-delayed loads: %d\n", r.Forwards, r.SyncWaits)
+	se, sm, sx := r.StallBreakdown()
+	fmt.Printf("  zero-commit cycles: %.1f%% front-end, %.1f%% memory, %.1f%% execute\n",
+		100*se, 100*sm, 100*sx)
+	if r.Skipped > 0 {
+		fmt.Printf("  sampling: %d instructions fast-forwarded functionally\n", r.Skipped)
+	}
+}
+
+func buildWorkload(name string) (*prog.Program, error) {
+	switch name {
+	case "recurrence":
+		return workload.KernelRecurrence(0), nil
+	case "stream":
+		return workload.KernelStream(0), nil
+	case "chase":
+		return workload.KernelPointerChase(1024, 0), nil
+	case "taskboundary":
+		return workload.KernelTaskBoundary(32, 1<<30), nil
+	}
+	return workload.Build(name)
+}
+
+func missRate(m, a uint64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return float64(m) / float64(a)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Command mdtrace inspects the synthetic workloads: it prints each
+// benchmark's dynamic instruction mix (the analog of the paper's
+// Table 1) and its dependence profile, or disassembles a prefix of a
+// benchmark's dynamic trace.
+//
+// Usage:
+//
+//	mdtrace [-n insts] [-bench name] [-disasm N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mdspec/internal/emu"
+	"mdspec/internal/stats"
+	"mdspec/internal/workload"
+)
+
+func main() {
+	n := flag.Int64("n", 100_000, "instructions to measure per benchmark")
+	bench := flag.String("bench", "", "single benchmark (default: the whole Table 1 suite)")
+	disasm := flag.Int("disasm", 0, "disassemble the first N dynamic instructions instead")
+	flag.Parse()
+
+	if *disasm > 0 {
+		name := *bench
+		if name == "" {
+			name = "126.gcc"
+		}
+		if err := disassemble(name, *disasm); err != nil {
+			fmt.Fprintln(os.Stderr, "mdtrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	names := workload.Names()
+	if *bench != "" {
+		names = []string{*bench}
+	}
+	t := &stats.Table{Header: []string{"bench", "class", "loads", "(target)", "stores", "(target)",
+		"cond-br", "near-dep loads", "ptr loads", "calls"}}
+	for _, name := range names {
+		pr, err := workload.ProfileByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdtrace:", err)
+			os.Exit(1)
+		}
+		mix := workload.Measure(workload.MustBuild(pr.Name), *n)
+		class := "int"
+		if pr.FP {
+			class = "fp"
+		}
+		t.Add(pr.Name, class,
+			fmt.Sprintf("%.1f%%", 100*mix.LoadFrac()), fmt.Sprintf("%.1f%%", 100*pr.LoadFrac),
+			fmt.Sprintf("%.1f%%", 100*mix.StoreFrac()), fmt.Sprintf("%.1f%%", 100*pr.StoreFrac),
+			fmt.Sprintf("%.1f%%", 100*mix.BranchFrac()),
+			fmt.Sprintf("%.1f%%", 100*mix.NearDepFrac()),
+			fmt.Sprintf("%d", mix.PointerLoads), fmt.Sprintf("%d", mix.Calls))
+	}
+	fmt.Println("Workload suite dynamic mix (Table 1 analog); targets in parentheses")
+	fmt.Print(t.String())
+}
+
+func disassemble(name string, n int) error {
+	p, err := workload.Build(name)
+	if err != nil {
+		return err
+	}
+	m := emu.New(p)
+	var d emu.DynInst
+	for i := 0; i < n && m.Step(&d); i++ {
+		extra := ""
+		switch {
+		case d.IsLoad():
+			extra = fmt.Sprintf("  ; [%#x] -> %d (producer seq %d)", d.Addr, d.LoadVal, d.ProducerSeq)
+		case d.IsStore():
+			extra = fmt.Sprintf("  ; [%#x] <- %d (was %d)", d.Addr, d.StoreVal, d.OldVal)
+		case d.IsBranch() && d.Taken:
+			extra = fmt.Sprintf("  ; taken -> %#x", d.NextPC)
+		}
+		fmt.Printf("%6d  %08x  %-28s%s\n", d.Seq, d.PC, d.Inst.String(), extra)
+	}
+	return nil
+}

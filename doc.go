@@ -1,0 +1,32 @@
+// Package mdspec reproduces "Memory Dependence Speculation Tradeoffs in
+// Centralized, Continuous-Window Superscalar Processors" (Moshovos &
+// Sohi, HPCA 2000) as a self-contained Go library: a cycle-level
+// out-of-order superscalar timing model with every load/store scheduling
+// policy the paper studies, the memory dependence prediction hardware,
+// a split-window processor variant, a synthetic SPEC'95-analog workload
+// suite, and an experiment harness that regenerates every table and
+// figure of the paper's evaluation.
+//
+// Layout:
+//
+//	internal/isa         mini-RISC instruction set
+//	internal/prog        programs + assembler/builder
+//	internal/emu         functional emulator and dynamic traces
+//	internal/workload    the 18 Table 1 benchmark analogs + kernels
+//	internal/bpred       McFarling combined branch predictor, BTB, RAS
+//	internal/cache       banked, lockup-free cache hierarchy (Table 2)
+//	internal/mdp         dependence predictors: MDPT, selective, store
+//	                     barrier, store sets
+//	internal/core        the out-of-order pipeline (continuous + split)
+//	internal/config      machine configurations and policy names
+//	internal/stats       run statistics and aggregation
+//	internal/experiments figures/tables of §3, §4 summary, ablations
+//	cmd/mdsim            run one (workload, config) simulation
+//	cmd/mdexp            regenerate a table/figure
+//	cmd/mdtrace          inspect workload mixes and traces
+//
+// Five runnable examples live under examples/ (quickstart, recurrence,
+// policysweep, predictors, cpistack). The benchmarks in bench_test.go
+// regenerate each experiment at a small instruction budget and report
+// its headline numbers as custom metrics.
+package mdspec

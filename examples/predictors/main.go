@@ -1,0 +1,72 @@
+// Predictors demonstrates the memory dependence prediction hardware in
+// isolation: it feeds the violation streams of a misspeculating kernel
+// to the MDPT (speculation/synchronization), the selective predictor,
+// the store-barrier predictor, and the store-set predictor, and shows
+// how each one's decisions evolve.
+package main
+
+import (
+	"fmt"
+
+	"mdspec/internal/mdp"
+)
+
+func main() {
+	cfg := mdp.DefaultTable()
+
+	// A tiny instruction stream: two static loads and two static stores.
+	// loadA truly depends on storeA (they touch the same address every
+	// iteration); loadB is independent but shares a cache set with them.
+	const (
+		storeA = 0x40_0100
+		loadA  = 0x40_0140
+		storeB = 0x40_0200
+		loadB  = 0x40_0240
+	)
+
+	fmt.Println("-- MDPT (speculation/synchronization, §3.6) --")
+	m := mdp.NewMDPT(cfg)
+	show := func(cycle int64) {
+		la, oka := m.LoadSynonym(loadA, cycle)
+		lb, okb := m.LoadSynonym(loadB, cycle)
+		fmt.Printf("  cycle %-8d loadA: sync=%v (synonym %#x)   loadB: sync=%v (synonym %#x)\n",
+			cycle, oka, la, okb, lb)
+	}
+	show(0)
+	m.RecordViolation(loadA, storeA, 10)
+	fmt.Println("  ... loadA violates against storeA once ...")
+	show(11)        // a single violation is enough: synchronization always enforced
+	show(1_500_000) // after the periodic flush the entry is gone
+	fmt.Println()
+
+	fmt.Println("-- Selective predictor (§3.5): needs three strikes --")
+	s := mdp.NewSelective(cfg)
+	for i := 1; i <= 4; i++ {
+		s.RecordViolation(loadA, int64(i*100))
+		fmt.Printf("  after violation %d: predict dependence = %v\n",
+			i, s.Predict(loadA, int64(i*100+1)))
+	}
+	fmt.Println()
+
+	fmt.Println("-- Store-barrier predictor (§3.5): keyed by the STORE --")
+	sb := mdp.NewStoreBarrier(cfg)
+	for i := 1; i <= 3; i++ {
+		sb.RecordViolation(storeA, int64(i*100))
+	}
+	fmt.Printf("  storeA is a barrier: %v; storeB is a barrier: %v\n",
+		sb.Predict(storeA, 400), sb.Predict(storeB, 400))
+	fmt.Println()
+
+	fmt.Println("-- Store sets (Chrysos & Emer, the paper's [4]) --")
+	ss := mdp.NewStoreSets(cfg)
+	ss.RecordViolation(loadA, storeA, 10)
+	ss.RecordViolation(loadA, storeB, 20) // loadA also conflicts with storeB
+	a, _ := ss.SSID(loadA, 30)
+	sa, _ := ss.SSID(storeA, 30)
+	sbid, _ := ss.SSID(storeB, 30)
+	fmt.Printf("  loadA set=%d, storeA set=%d, storeB set=%d (both stores merged into the load's set)\n",
+		a, sa, sbid)
+	if _, ok := ss.SSID(loadB, 30); !ok {
+		fmt.Println("  loadB never violated: no store set, speculates freely")
+	}
+}

@@ -1,0 +1,55 @@
+// Recurrence walks through the paper's Figure 7 example: a loop whose
+// every iteration loads the value the previous iteration stored. It
+// shows (a) how each speculation policy handles the loop-carried memory
+// dependence in a continuous window, and (b) why the same address-based
+// scheduler that eliminates misspeculation in a continuous window fails
+// in a split window.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mdspec/internal/config"
+	"mdspec/internal/core"
+	"mdspec/internal/emu"
+	"mdspec/internal/prog"
+	"mdspec/internal/workload"
+)
+
+func simulate(p *prog.Program, cfg config.Machine, n int64) (ipc, misspec float64) {
+	pipe, err := core.New(cfg, emu.NewTrace(emu.New(p)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pipe.Run(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.IPC(), res.MisspecRate()
+}
+
+func main() {
+	const n = 60_000
+
+	fmt.Println("Part 1 — the Figure 7 loop (a[i] = a[i-1]+1) in a continuous window:")
+	loop := workload.KernelRecurrence(0)
+	for _, pol := range []config.Policy{config.NoSpec, config.Naive, config.Sync, config.Oracle} {
+		ipc, ms := simulate(loop, config.Default128().WithPolicy(pol), n)
+		fmt.Printf("  NAS/%-7s IPC %.3f  misspec %.3f%%\n", pol, ipc, 100*ms)
+	}
+
+	fmt.Println("\nPart 2 — §3.7: a store at the end of one task, its dependent load")
+	fmt.Println("at the start of the next, under a 0-cycle address-based scheduler:")
+	bait := workload.KernelTaskBoundary(32, 1<<30)
+	cont := config.Default128().WithPolicy(config.Naive).WithAddressScheduler(0)
+	split := cont.WithSplitWindow(4)
+	cIPC, cMS := simulate(bait, cont, n)
+	sIPC, sMS := simulate(bait, split, n)
+	fmt.Printf("  continuous window: IPC %.3f  misspec %.4f%%\n", cIPC, 100*cMS)
+	fmt.Printf("  4-unit split:      IPC %.3f  misspec %.4f%%\n", sIPC, 100*sMS)
+	fmt.Println("\nIn the continuous window the store's address is always posted before")
+	fmt.Println("the later-fetched load issues, so the scheduler blocks it; in the")
+	fmt.Println("split window the younger unit issues its load before the older unit")
+	fmt.Println("has even fetched the store — no scheduler latency can prevent that.")
+}

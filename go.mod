@@ -1,0 +1,3 @@
+module mdspec
+
+go 1.22

@@ -1,0 +1,243 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mdspec/internal/isa"
+)
+
+func TestCounterSaturation(t *testing.T) {
+	var c counter
+	for i := 0; i < 10; i++ {
+		c.update(true)
+	}
+	if c != 3 || !c.taken() {
+		t.Errorf("counter after 10 takens = %d", c)
+	}
+	for i := 0; i < 10; i++ {
+		c.update(false)
+	}
+	if c != 0 || c.taken() {
+		t.Errorf("counter after 10 not-takens = %d", c)
+	}
+}
+
+func TestAlwaysTakenLearns(t *testing.T) {
+	p := New(Default())
+	pc := uint32(0x400100)
+	misses := 0
+	for i := 0; i < 100; i++ {
+		pred := p.PredictDirection(pc)
+		hist := p.History()
+		p.SpeculateHistory(pred)
+		if !pred {
+			misses++
+		}
+		p.Resolve(pc, hist, pred, true)
+	}
+	if misses > 2 {
+		t.Errorf("always-taken branch missed %d times", misses)
+	}
+}
+
+func TestAlternatingLearnsViaHistory(t *testing.T) {
+	// A strictly alternating branch is perfectly predictable with global
+	// history; the combined predictor should settle on gselect and
+	// converge to near-zero misses after warmup.
+	p := New(Default())
+	pc := uint32(0x400200)
+	taken := false
+	lateMisses := 0
+	for i := 0; i < 400; i++ {
+		pred := p.PredictDirection(pc)
+		hist := p.History()
+		p.SpeculateHistory(pred)
+		if pred != taken && i > 200 {
+			lateMisses++
+		}
+		p.Resolve(pc, hist, pred, taken)
+		taken = !taken
+	}
+	if lateMisses > 10 {
+		t.Errorf("alternating branch: %d late misses", lateMisses)
+	}
+}
+
+func TestBTB(t *testing.T) {
+	p := New(Default())
+	if _, ok := p.LookupTarget(0x400300); ok {
+		t.Error("cold BTB should miss")
+	}
+	p.UpdateTarget(0x400300, 0x400500)
+	if tgt, ok := p.LookupTarget(0x400300); !ok || tgt != 0x400500 {
+		t.Errorf("BTB lookup = %#x, %v", tgt, ok)
+	}
+	// A conflicting PC mapping to the same set evicts.
+	conflict := uint32(0x400300 + 2048*4)
+	p.UpdateTarget(conflict, 0x400700)
+	if _, ok := p.LookupTarget(0x400300); ok {
+		t.Error("evicted entry should miss")
+	}
+}
+
+func TestRAS(t *testing.T) {
+	p := New(Default())
+	if _, ok := p.PopReturn(); ok {
+		t.Error("empty RAS should not pop")
+	}
+	p.PushReturn(100)
+	p.PushReturn(200)
+	if a, ok := p.PopReturn(); !ok || a != 200 {
+		t.Errorf("pop = %d, %v; want 200", a, ok)
+	}
+	if a, ok := p.PopReturn(); !ok || a != 100 {
+		t.Errorf("pop = %d, %v; want 100", a, ok)
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	p := New(Default())
+	n := p.cfg.RASEntries
+	for i := 0; i < n+5; i++ {
+		p.PushReturn(uint32(i))
+	}
+	// The most recent n pushes survive; pops return them LIFO.
+	for i := n + 4; i >= 5; i-- {
+		a, ok := p.PopReturn()
+		if !ok || a != uint32(i) {
+			t.Fatalf("pop = %d, %v; want %d", a, ok, i)
+		}
+	}
+}
+
+func TestPredictJumps(t *testing.T) {
+	p := New(Default())
+	j := &isa.Inst{Op: isa.J, Target: 0x400800}
+	if taken, tgt := p.Predict(0x400000, j, 0x400004); !taken || tgt != 0x400800 {
+		t.Error("J should predict taken to its target")
+	}
+	jal := &isa.Inst{Op: isa.JAL, Target: 0x400900}
+	p.Predict(0x400010, jal, 0x400014)
+	jr := &isa.Inst{Op: isa.JR, Rs1: isa.RA}
+	if taken, tgt := p.Predict(0x400900, jr, 0x400904); !taken || tgt != 0x400014 {
+		t.Errorf("JR should predict return to %#x, got %#x", 0x400014, tgt)
+	}
+}
+
+func TestPredictCondUsesDirection(t *testing.T) {
+	p := New(Default())
+	in := &isa.Inst{Op: isa.BNE, Target: 0x400000}
+	pc := uint32(0x400040)
+	// Train not-taken.
+	for i := 0; i < 10; i++ {
+		pred := p.PredictDirection(pc)
+		hist := p.History()
+		p.SpeculateHistory(pred)
+		p.Resolve(pc, hist, pred, false)
+	}
+	if taken, tgt := p.Predict(pc, in, pc+4); taken || tgt != pc+4 {
+		t.Error("trained not-taken branch should predict fall-through")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	p := New(Default())
+	p.Resolve(0x400000, 0, true, true)
+	p.Resolve(0x400000, 0, true, false)
+	if got := p.MissRate(); got != 0.5 {
+		t.Errorf("miss rate = %v, want 0.5", got)
+	}
+}
+
+func TestHistoryMaskProperty(t *testing.T) {
+	// Property: gselect index always stays within the table regardless of
+	// PC or history contents.
+	p := New(Default())
+	f := func(pc uint32, hist uint32) bool {
+		return p.gselectIdx(pc, hist) < uint32(len(p.gselect))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectorPrefersBetterComponent(t *testing.T) {
+	// Pattern where bimodal is wrong half the time but gselect can track:
+	// two interleaved contexts, outcome = last direction. After training,
+	// the selector counters for this PC should lean toward gselect.
+	p := New(Default())
+	pc := uint32(0x400abc)
+	taken := false
+	for i := 0; i < 1000; i++ {
+		pred := p.PredictDirection(pc)
+		hist := p.History()
+		p.SpeculateHistory(pred)
+		p.Resolve(pc, hist, pred, taken)
+		taken = !taken
+	}
+	if !p.selector[p.bimodalIdx(pc)].taken() {
+		t.Error("selector should have learned to use gselect for alternating branch")
+	}
+}
+
+func TestPredictorKinds(t *testing.T) {
+	mk := func(k Kind) *Predictor {
+		cfg := Default()
+		cfg.Kind = k
+		return New(cfg)
+	}
+	// Static-taken never learns.
+	st := mk(StaticTaken)
+	for i := 0; i < 20; i++ {
+		pred := st.PredictDirection(0x400000)
+		if !pred {
+			t.Fatal("static-taken must predict taken")
+		}
+		st.Resolve(0x400000, st.History(), pred, false)
+	}
+	// Bimodal learns a constant direction but not alternation.
+	bm := mk(Bimodal)
+	taken := false
+	misses := 0
+	for i := 0; i < 200; i++ {
+		pred := bm.PredictDirection(0x400100)
+		hist := bm.History()
+		bm.SpeculateHistory(pred)
+		if pred != taken && i > 100 {
+			misses++
+		}
+		bm.Resolve(0x400100, hist, pred, taken)
+		taken = !taken
+	}
+	if misses < 30 {
+		t.Errorf("bimodal should miss often on alternation, missed %d/100", misses)
+	}
+	// GShare learns the alternation.
+	gs := mk(GShare)
+	taken = false
+	misses = 0
+	for i := 0; i < 400; i++ {
+		pred := gs.PredictDirection(0x400200)
+		hist := gs.History()
+		gs.SpeculateHistory(pred)
+		if pred != taken && i > 200 {
+			misses++
+		}
+		gs.Resolve(0x400200, hist, pred, taken)
+		taken = !taken
+	}
+	if misses > 10 {
+		t.Errorf("gshare should learn alternation, missed %d/200", misses)
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	names := map[Kind]string{Combined: "combined", GShare: "gshare",
+		Bimodal: "bimodal", StaticTaken: "static-taken"}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}

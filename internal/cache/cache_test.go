@@ -1,0 +1,223 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// small builds a tiny cache for deterministic tests: 4 sets, 2-way, 32B
+// blocks, 1 bank, hit 2, over a 40-cycle memory.
+func small(mshrs, secondaries int) (*Cache, *MainMemory) {
+	mem := &MainMemory{Latency: 40}
+	c := New(Config{
+		Name: "T", SizeBytes: 256, Assoc: 2, BlockBytes: 32, Banks: 1,
+		HitLatency: 2, PrimaryMSHRs: mshrs, SecondaryPerPrimary: secondaries,
+	}, mem)
+	return c, mem
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c, _ := small(0, 0)
+	d1 := c.Access(0x1000, 0, false)
+	if d1 != 42 { // 40-cycle memory + 2-cycle hit latency on the fill
+		t.Errorf("cold miss done = %d, want 42", d1)
+	}
+	d2 := c.Access(0x1008, 100, false) // same block
+	if d2 != 102 {
+		t.Errorf("hit done = %d, want 102", d2)
+	}
+	if c.Stats.Accesses != 2 || c.Stats.Misses != 1 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c, _ := small(0, 0)
+	// Three blocks mapping to the same set of a 2-way cache: 4 sets, 1
+	// bank => set = (addr>>5) & 3. Blocks 0, 4, 8 share set 0.
+	a, b2, c3 := uint32(0*32), uint32(4*32), uint32(8*32)
+	c.Access(a, 0, false)
+	c.Access(b2, 10, false)
+	c.Access(a, 20, false)  // touch a: b2 becomes LRU
+	c.Access(c3, 30, false) // evicts b2
+	missesBefore := c.Stats.Misses
+	c.Access(a, 100, false) // still resident
+	if c.Stats.Misses != missesBefore {
+		t.Error("a should still hit")
+	}
+	c.Access(b2, 200, false) // was evicted
+	if c.Stats.Misses != missesBefore+1 {
+		t.Error("b2 should have been evicted")
+	}
+}
+
+func TestBankConflict(t *testing.T) {
+	c, _ := small(0, 0)
+	c.Access(0x0, 0, false)
+	// Same cycle, same (only) bank: second access starts a cycle later.
+	d := c.Access(0x2000, 0, false)
+	if d != 43 { // starts a cycle late, then 40 + 2
+		t.Errorf("bank-conflicted miss done = %d, want 43", d)
+	}
+	if c.Stats.BankStalls != 1 {
+		t.Errorf("bank stalls = %d, want 1", c.Stats.BankStalls)
+	}
+}
+
+func TestSecondaryMissMerges(t *testing.T) {
+	c, _ := small(4, 4)
+	d1 := c.Access(0x1000, 0, false)
+	d2 := c.Access(0x1010, 1, false) // same block, while miss outstanding
+	if d2 != d1 {
+		t.Errorf("secondary miss done = %d, want %d (merged)", d2, d1)
+	}
+	if c.Stats.Misses != 2 { // primary + merged secondary both count
+		t.Errorf("misses = %d, want 2", c.Stats.Misses)
+	}
+}
+
+func TestSecondaryLimit(t *testing.T) {
+	c, _ := small(4, 1)
+	d1 := c.Access(0x1000, 0, false)
+	c.Access(0x1008, 1, false) // first secondary merges
+	d3 := c.Access(0x1010, 2, false)
+	if d3 <= d1 {
+		t.Errorf("over-limit secondary done = %d, want > %d", d3, d1)
+	}
+	if c.Stats.MSHRStalls != 1 {
+		t.Errorf("mshr stalls = %d, want 1", c.Stats.MSHRStalls)
+	}
+}
+
+func TestPrimaryMSHRExhaustion(t *testing.T) {
+	c, _ := small(1, 0)
+	d1 := c.Access(0x0000, 0, false) // bank busy cycle 0
+	d2 := c.Access(0x2000, 1, false) // different block, MSHR busy until d1
+	if d2 < d1+40 {
+		t.Errorf("second miss done = %d, want >= %d", d2, d1+40)
+	}
+	if c.Stats.MSHRStalls != 1 {
+		t.Errorf("mshr stalls = %d, want 1", c.Stats.MSHRStalls)
+	}
+}
+
+func TestMainMemoryCounts(t *testing.T) {
+	mem := &MainMemory{Latency: 7}
+	if d := mem.Access(0, 3, false); d != 10 {
+		t.Errorf("memory done = %d, want 10", d)
+	}
+	if mem.Accesses != 1 {
+		t.Error("memory should count accesses")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	h := Table2()
+	// L1D hit = 2 cycles.
+	h.D.Access(0x4000, 0, false) // warm
+	if d := h.D.Access(0x4000, 100, false); d != 102 {
+		t.Errorf("L1D hit = %d, want 102", d)
+	}
+	// Force an L1 miss that hits L2: the 32K 2-way 4-bank L1 aliases
+	// addresses 64KB apart into one set, so three such blocks overflow
+	// its two ways while staying in distinct L2 sets.
+	base := uint32(0x10_0000)
+	h.D.Access(base, 30000, false)
+	h.D.Access(base+64*1024, 30100, false)
+	h.D.Access(base+128*1024, 30200, false) // evicts base from L1
+	got := h.D.Access(base, 40000, false)   // L1 miss, L2 hit
+	if got != 40010 {
+		t.Errorf("L1-miss/L2-hit latency = %d, want 10", got-40000)
+	}
+	// Cold miss all the way to memory ≈ 50 cycles.
+	cold := h.D.Access(0x7000_0000, 50000, false)
+	if cold-50000 != 50 {
+		t.Errorf("miss-to-memory latency = %d, want 50", cold-50000)
+	}
+	// I-cache miss that hits L2 = 10 cycles.
+	h.I.Access(0x40_0000, 60000, false)          // fills L1I and L2
+	h.I.Access(0x40_0000+256*1024, 60100, false) // alias set (64K 2-way 8-bank: 256KB apart)
+	h.I.Access(0x40_0000+512*1024, 60200, false) // evicts
+	gotI := h.I.Access(0x40_0000, 70000, false)
+	if gotI != 70010 {
+		t.Errorf("I-miss/L2-hit latency = %d, want 10", gotI-70000)
+	}
+}
+
+func TestPerfectHierarchyAlwaysFast(t *testing.T) {
+	h := Perfect()
+	for i := uint32(0); i < 100; i++ {
+		if d := h.D.Access(i*4096, int64(i*10), false); d != int64(i*10)+2 {
+			t.Fatalf("perfect D access %d took %d cycles", i, d-int64(i*10))
+		}
+	}
+}
+
+func TestAccessMonotonicProperty(t *testing.T) {
+	// Property: completion time is always strictly after arrival time.
+	c, _ := small(2, 2)
+	cycle := int64(0)
+	f := func(addr uint32, advance uint8) bool {
+		cycle += int64(advance)
+		done := c.Access(addr, cycle, addr%3 == 0)
+		return done > cycle
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteTimingSameAsRead(t *testing.T) {
+	c1, _ := small(0, 0)
+	c2, _ := small(0, 0)
+	r := c1.Access(0x3000, 0, false)
+	w := c2.Access(0x3000, 0, true)
+	if r != w {
+		t.Errorf("write timing %d != read timing %d", w, r)
+	}
+}
+
+func TestWarmMatchesAccessContents(t *testing.T) {
+	// Warming must produce the same hit/miss pattern a timed access
+	// stream would, with no bank or MSHR side effects.
+	c1, _ := small(2, 2)
+	c2, _ := small(2, 2)
+	addrs := []uint32{0x0, 0x20, 0x40, 0x0, 0x2000, 0x20, 0x0}
+	for i, a := range addrs {
+		c1.Access(a, int64(i*100), false)
+		c2.Warm(a, false)
+	}
+	if c1.Stats.Misses != c2.Stats.Misses || c1.Stats.Accesses != c2.Stats.Accesses {
+		t.Errorf("warm stats diverge: %+v vs %+v", c1.Stats, c2.Stats)
+	}
+	// After warming, a timed access to a warmed block hits immediately.
+	if d := c2.Access(0x0, 1000, false); d != 1002 {
+		t.Errorf("post-warm access = %d, want hit at 1002", d)
+	}
+	// Warming never advanced the bank clock.
+	if c2.Stats.BankStalls != 0 {
+		t.Error("warm must not create bank conflicts")
+	}
+}
+
+func TestWarmOnPerfectCacheIsNoop(t *testing.T) {
+	mem := &MainMemory{Latency: 40}
+	c := New(Config{Name: "P", SizeBytes: 256, Assoc: 1, BlockBytes: 32, Banks: 1,
+		HitLatency: 2, Perfect: true}, mem)
+	c.Warm(0x1234, true)
+	if c.Stats.Misses != 0 || c.Stats.Accesses != 1 {
+		t.Errorf("perfect warm stats: %+v", c.Stats)
+	}
+}
+
+func TestHierarchySharedL2(t *testing.T) {
+	// An I-fetch that fills L2 makes a later D-access to the same line an
+	// L2 hit (the unified L2 of Table 2).
+	h := Table2()
+	h.I.Access(0x50_0000, 0, false) // cold: fills L2 block 0x50_0000
+	// Evict nothing; access a D-cache line in the same L2 block.
+	d := h.D.Access(0x50_0010, 1000, false)
+	if d-1000 != 10 {
+		t.Errorf("D access after I fill took %d cycles, want 10 (L2 hit)", d-1000)
+	}
+}

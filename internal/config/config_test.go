@@ -1,0 +1,91 @@
+package config
+
+import "testing"
+
+func TestPolicyNamesRoundTrip(t *testing.T) {
+	for _, p := range []Policy{NoSpec, Naive, Selective, StoreBarrier, Sync, Oracle, StoreSets} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip failed for %v: %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("ParsePolicy should reject unknown names")
+	}
+	// Case-insensitive, as users type on the CLI.
+	if p, err := ParsePolicy("sync"); err != nil || p != Sync {
+		t.Error("ParsePolicy should be case-insensitive")
+	}
+}
+
+func TestConfigNames(t *testing.T) {
+	cases := []struct {
+		cfg  Machine
+		want string
+	}{
+		{Default128().WithPolicy(NoSpec), "NAS/NO"},
+		{Default128().WithPolicy(Sync), "NAS/SYNC"},
+		{Default128().WithPolicy(Naive).WithAddressScheduler(0), "AS/NAV"},
+		{Default128().WithPolicy(Naive).WithAddressScheduler(2), "AS/NAV+2"},
+		{Default128().WithPolicy(Naive).WithSplitWindow(4), "SPLIT:NAS/NAV"},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestDefault128MatchesTable2(t *testing.T) {
+	m := Default128()
+	if m.Window != 128 || m.FetchWidth != 8 || m.IssueWidth != 8 ||
+		m.MemPorts != 4 || m.BranchesPerCycle != 4 || m.FrontEndDepth != 4 {
+		t.Errorf("Default128 deviates from Table 2: %+v", m)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("default must validate: %v", err)
+	}
+}
+
+func TestSmall64Matches32Section(t *testing.T) {
+	m := Small64()
+	if m.Window != 64 || m.IssueWidth != 4 || m.MemPorts != 2 || m.IntALUs != 2 {
+		t.Errorf("Small64 deviates from §3.2's description: %+v", m)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("small machine must validate: %v", err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := func(mut func(*Machine)) Machine {
+		m := Default128()
+		mut(&m)
+		return m
+	}
+	cases := []Machine{
+		bad(func(m *Machine) { m.Window = 0 }),
+		bad(func(m *Machine) { m.IssueWidth = 0 }),
+		bad(func(m *Machine) { m.MemPorts = 0 }),
+		bad(func(m *Machine) { m.FPUnits = 0 }),
+		bad(func(m *Machine) { m.SchedulerLatency = -1 }),
+		Default128().WithSplitWindow(1),
+		Default128().WithSplitWindow(3), // does not divide 128
+		Default128().WithPolicy(Sync).WithAddressScheduler(0),
+	}
+	for i, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d should fail validation: %+v", i, m)
+		}
+	}
+}
+
+func TestWithHelpersDoNotMutate(t *testing.T) {
+	base := Default128()
+	_ = base.WithPolicy(Sync)
+	_ = base.WithAddressScheduler(2)
+	_ = base.WithSplitWindow(4)
+	if base.Policy != NoSpec || base.UseAddressScheduler || base.SplitWindow {
+		t.Error("With* helpers must return copies")
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"testing"
+
+	"mdspec/internal/config"
+	"mdspec/internal/emu"
+	"mdspec/internal/isa"
+	"mdspec/internal/prog"
+	"mdspec/internal/workload"
+)
+
+// slowStoreFastLoad builds a loop where the store's DATA arrives late
+// (behind a divide) while its address and an independent later load's
+// address are ready immediately. Under AS the store posts its address
+// early so the independent load proceeds; under NAS/NO it waits for the
+// store to execute.
+func slowStoreFastLoad(iters int64) *prog.Program {
+	b := prog.NewBuilder()
+	src := b.AllocInit(1, 2, 3, 4)
+	dst := b.Alloc(64)
+	b.Li(isa.R1, int64(src))
+	b.Li(isa.R2, int64(dst))
+	b.Li(isa.R5, iters)
+	b.Li(isa.R7, 3)
+	b.Label("loop")
+	b.Div(isa.R5, isa.R7) // slow data producer
+	b.Mflo(isa.R8)
+	b.Sw(isa.R8, isa.R2, 0) // address ready instantly, data late
+	b.Lw(isa.R3, isa.R1, 0) // different address: a false dependence
+	b.Add(isa.R4, isa.R3, isa.R3)
+	b.Addi(isa.R5, isa.R5, -1)
+	b.Bne(isa.R5, isa.R0, "loop")
+	b.Halt()
+	return b.MustProgram()
+}
+
+func run(t *testing.T, p *prog.Program, cfg config.Machine) *statsRun {
+	t.Helper()
+	pl, err := New(cfg, emu.NewTrace(emu.New(p)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := pl.Run(1 << 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &statsRun{r.IPC(), r.Misspeculations, r.FalseDepLoads, r.Forwards, r.Cycles}
+}
+
+type statsRun struct {
+	ipc      float64
+	misspec  int64
+	fdLoads  int64
+	forwards int64
+	cycles   int64
+}
+
+func TestASNoReleasesFalseDependentLoads(t *testing.T) {
+	// The point of posting addresses early: under NAS/NO nearly every
+	// load stalls behind the divide-fed store; under AS/NO the store's
+	// address posts within a couple of cycles, so almost no load is
+	// delayed by the false dependence.
+	p := slowStoreFastLoad(800)
+	nasNo := run(t, p, config.Default128().WithPolicy(config.NoSpec))
+	asNo := run(t, p, config.Default128().WithPolicy(config.NoSpec).WithAddressScheduler(0))
+	if nasNo.fdLoads < 400 {
+		t.Fatalf("NAS/NO should delay most of the ~800 loads; delayed %d", nasNo.fdLoads)
+	}
+	if asNo.fdLoads > nasNo.fdLoads/2 {
+		t.Errorf("AS/NO delayed %d loads, NAS/NO %d — posting addresses should release them",
+			asNo.fdLoads, nasNo.fdLoads)
+	}
+}
+
+func TestASWaitsOnPostedMatch(t *testing.T) {
+	// A load whose address matches a posted, unexecuted store must wait
+	// for the store and forward — never misspeculate, under both AS/NO
+	// and AS/NAV.
+	b := prog.NewBuilder()
+	g := b.AllocInit(7)
+	b.Li(isa.R1, int64(g))
+	b.Li(isa.R5, 500)
+	b.Li(isa.R7, 3)
+	b.Label("loop")
+	b.Div(isa.R5, isa.R7)
+	b.Mflo(isa.R8)
+	b.Sw(isa.R8, isa.R1, 0) // address posts early, data late
+	b.Lw(isa.R3, isa.R1, 0) // same address: must wait + forward
+	b.Add(isa.R4, isa.R3, isa.R3)
+	b.Addi(isa.R5, isa.R5, -1)
+	b.Bne(isa.R5, isa.R0, "loop")
+	b.Halt()
+	p := b.MustProgram()
+	for _, pol := range []config.Policy{config.NoSpec, config.Naive} {
+		r := run(t, p, config.Default128().WithPolicy(pol).WithAddressScheduler(0))
+		if r.misspec != 0 {
+			t.Errorf("AS/%v misspeculated %d times on a posted match", pol, r.misspec)
+		}
+		if r.forwards < 400 {
+			t.Errorf("AS/%v forwarded only %d of ~500 matched loads", pol, r.forwards)
+		}
+	}
+}
+
+func TestASNavSpeculatesPastUnpostedStores(t *testing.T) {
+	// Same program as TestASNoBeatsNASNoOnLateStoreData, but the store
+	// ADDRESS is late too (behind the divide). AS/NO must wait for the
+	// posting; AS/NAV speculates past it (different addresses, so no
+	// misspeculation) and wins.
+	b := prog.NewBuilder()
+	src := b.AllocInit(1)
+	dst := b.Alloc(4096)
+	b.Li(isa.R1, int64(src))
+	b.Li(isa.R2, int64(dst))
+	b.Li(isa.R5, 800)
+	b.Li(isa.R7, 3)
+	b.Label("loop")
+	b.Div(isa.R5, isa.R7)
+	b.Mflo(isa.R8)
+	b.Andi(isa.R9, isa.R8, 0x1f8)
+	b.Add(isa.R9, isa.R2, isa.R9)
+	b.Sw(isa.R8, isa.R9, 0) // address depends on the divide: posts late
+	b.Lw(isa.R3, isa.R1, 0) // reads the src arena: unrelated
+	b.Add(isa.R4, isa.R3, isa.R3)
+	b.Addi(isa.R5, isa.R5, -1)
+	b.Bne(isa.R5, isa.R0, "loop")
+	b.Halt()
+	p := b.MustProgram()
+	asNo := run(t, p, config.Default128().WithPolicy(config.NoSpec).WithAddressScheduler(0))
+	asNav := run(t, p, config.Default128().WithPolicy(config.Naive).WithAddressScheduler(0))
+	if asNav.ipc <= asNo.ipc*1.02 {
+		t.Errorf("AS/NAV (%.3f) should beat AS/NO (%.3f) when store addresses post late",
+			asNav.ipc, asNo.ipc)
+	}
+	if asNav.misspec != 0 {
+		t.Errorf("no true dependences here, yet AS/NAV misspeculated %d times", asNav.misspec)
+	}
+}
+
+func TestASSilentViolationAbsorbed(t *testing.T) {
+	// A load that speculatively reads around a pending same-address
+	// store whose value happens to EQUAL what the load read (a silent
+	// store) must not squash under AS/NAV (§3.4's value condition).
+	b := prog.NewBuilder()
+	g := b.AllocInit(7)
+	b.Li(isa.R1, int64(g))
+	b.Li(isa.R5, 300)
+	b.Li(isa.R6, 21)
+	b.Li(isa.R7, 3)
+	b.Label("loop")
+	b.Div(isa.R6, isa.R7) // LO = 7 always
+	b.Mflo(isa.R8)
+	b.Andi(isa.R9, isa.R8, 0x7) // = 7: address varies formally with data
+	b.Sll(isa.R9, isa.R9, 3)
+	b.Add(isa.R9, isa.R1, isa.R9)
+	b.Sw(isa.R8, isa.R9, -56) // stores 7 to g, address late (after divide)
+	b.Lw(isa.R3, isa.R1, 0)   // reads g speculatively: gets 7 (the old value)
+	b.Add(isa.R4, isa.R3, isa.R3)
+	b.Addi(isa.R5, isa.R5, -1)
+	b.Bne(isa.R5, isa.R0, "loop")
+	b.Halt()
+	p := b.MustProgram()
+	r := run(t, p, config.Default128().WithPolicy(config.Naive).WithAddressScheduler(0))
+	if r.misspec != 0 {
+		t.Errorf("silent violations should be absorbed, got %d squashes", r.misspec)
+	}
+}
+
+func TestSchedulerLatencyAddsLoadLatency(t *testing.T) {
+	// On a load-latency-bound kernel, each cycle of scheduler latency
+	// must cost cycles end to end.
+	p := workload.KernelPointerChase(64, 2000) // serial loads
+	r0 := run(t, p, config.Default128().WithPolicy(config.Naive).WithAddressScheduler(0))
+	r2 := run(t, p, config.Default128().WithPolicy(config.Naive).WithAddressScheduler(2))
+	if r2.cycles <= r0.cycles {
+		t.Errorf("2-cycle scheduler should take longer: %d vs %d cycles", r2.cycles, r0.cycles)
+	}
+	// The chase is one load per ~6 instructions and fully serial, so two
+	// extra cycles per load ≈ 2 * iterations extra cycles; allow slack.
+	extra := r2.cycles - r0.cycles
+	if extra < 2000 {
+		t.Errorf("expected >= ~1 extra cycle per serial load, got %d total", extra)
+	}
+}
+
+func TestWordGranularFalseSharing(t *testing.T) {
+	// A byte store and a word load touching the SAME word but logically
+	// disjoint bytes still conflict in the word-granular detection
+	// hardware: NAS/NAV squashes (false sharing), ORACLE synchronizes,
+	// and both commit the right count.
+	b := prog.NewBuilder()
+	g := b.AllocInit(0)
+	b.Li(isa.R1, int64(g))
+	b.Li(isa.R5, 400)
+	b.Li(isa.R7, 3)
+	b.Label("loop")
+	b.Div(isa.R5, isa.R7) // delay the store's data
+	b.Mflo(isa.R8)
+	b.Sb(isa.R8, isa.R1, 6) // byte 6 of the word, late
+	b.Lw(isa.R3, isa.R1, 0) // whole word: conflicts at word granularity
+	b.Add(isa.R4, isa.R3, isa.R3)
+	b.Addi(isa.R5, isa.R5, -1)
+	b.Bne(isa.R5, isa.R0, "loop")
+	b.Halt()
+	p := b.MustProgram()
+	nav := run(t, p, config.Default128().WithPolicy(config.Naive))
+	if nav.misspec == 0 {
+		t.Error("word-granular detection should flag the byte/word false sharing")
+	}
+	oracle := run(t, p, config.Default128().WithPolicy(config.Oracle))
+	if oracle.misspec != 0 {
+		t.Error("oracle should never squash")
+	}
+}

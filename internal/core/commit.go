@@ -1,0 +1,95 @@
+package core
+
+import "mdspec/internal/config"
+
+// commit retires completed instructions in program order, up to
+// CommitWidth per cycle. Stores drain to the D-cache at commit through
+// the store buffer, consuming a memory port (contending with loads; the
+// store buffer does not combine writes to L1, per Table 2).
+func (p *Pipeline) commit() {
+	committed := 0
+	defer func() {
+		if committed == 0 {
+			p.classifyStall()
+		}
+	}()
+	for n := 0; n < p.cfg.CommitWidth; n++ {
+		e := p.slot(p.headSeq)
+		if !e.valid || e.di.Seq != p.headSeq {
+			break // empty or not yet dispatched (split-window hole)
+		}
+		d := &e.di
+		op := d.Inst.Op
+		switch {
+		case op.IsStore():
+			if !e.memIssued || p.cycle < e.memDone {
+				return
+			}
+			if p.portLeft == 0 {
+				return // no D-cache write port this cycle
+			}
+			p.portLeft--
+			p.hier.D.Access(d.Addr, p.cycle, true)
+			p.removeAddrMap(p.storesByAddr, d.Addr, d.Seq)
+			p.res.CommittedStores++
+			p.memInFlight--
+		case op.IsLoad():
+			if !e.memIssued || p.cycle < e.memDone {
+				return
+			}
+			p.removeAddrMap(p.loadsByAddr, d.Addr, d.Seq)
+			p.res.CommittedLoads++
+			p.memInFlight--
+			if e.fdCounted && e.fdFalse {
+				p.res.FalseDepLoads++
+				p.res.FalseDepDelay += e.memIssue - e.couldIssue
+			}
+			if e.memIssue > e.couldIssue && policyDelaysLoads(p.cfg.Policy) {
+				p.res.SyncWaits++
+			}
+		default:
+			if e.state != stIssued || p.cycle < e.doneCycle {
+				return
+			}
+		}
+		if op.IsBranch() {
+			p.res.Branches++
+			if e.bpWrong {
+				p.res.BranchMispredicts++
+			}
+		}
+		e.valid = false
+		p.headSeq++
+		p.res.Committed++
+		committed++
+	}
+	// Committed records can never be referenced again; let the trace
+	// reclaim them (amortized internally).
+	p.trace.Release(p.headSeq)
+}
+
+// classifyStall attributes a zero-commit cycle to its cause: an empty
+// window (front-end starvation), the oldest instruction waiting on the
+// memory system or the load/store policy, or plain execution latency.
+func (p *Pipeline) classifyStall() {
+	e := p.slot(p.headSeq)
+	if !e.valid || e.di.Seq != p.headSeq {
+		p.res.StallEmpty++
+		return
+	}
+	if e.di.Inst.Op.IsMem() {
+		p.res.StallMem++
+		return
+	}
+	p.res.StallExec++
+}
+
+// policyDelaysLoads reports whether the policy can delay loads via
+// predictions (for the SyncWaits statistic).
+func policyDelaysLoads(pol config.Policy) bool {
+	switch pol {
+	case config.Selective, config.StoreBarrier, config.Sync, config.StoreSets:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"mdspec/internal/config"
+	"mdspec/internal/emu"
+	"mdspec/internal/isa"
+)
+
+// iCacheBlockShift matches the 32-byte I-cache blocks of Table 2.
+const iCacheBlockShift = 5
+
+// maxFetchBlocks is the fetch unit's per-cycle limit on distinct
+// (possibly non-contiguous) instruction blocks (Table 2: "Combining of
+// up to 4 non-continuous blocks").
+const maxFetchBlocks = 4
+
+// fetch implements the continuous-window front end: instructions are
+// fetched strictly in program order; a mispredicted branch stalls fetch
+// until the branch executes.
+// wrongPathBlockBudget caps how far down the wrong path the front end
+// streams before it would realistically have filled its fetch buffers.
+const wrongPathBlockBudget = 8
+
+func (p *Pipeline) fetch() {
+	if p.blockedOnBranch != noSeq && p.cfg.WrongPathFetch && p.wrongPathBlocks > 0 {
+		// Pollute the I-cache along the mispredicted path, one block per
+		// cycle, until the branch resolves.
+		p.hier.I.Access(p.wrongPathPC, p.cycle, false)
+		p.wrongPathPC += 1 << iCacheBlockShift
+		p.wrongPathBlocks--
+	}
+	if p.draining || p.blockedOnBranch != noSeq || p.cycle < p.fetchResumeAt {
+		return
+	}
+	if p.traceEnded && p.fetchSeq >= p.traceLen {
+		return
+	}
+	fetched, branches, blocks := 0, 0, 0
+	for fetched < p.cfg.FetchWidth {
+		// Respect the window: never run further than Window ahead of
+		// commit (the front-end queue is part of that budget).
+		if p.fetchSeq >= p.headSeq+int64(p.cfg.Window) {
+			break
+		}
+		d := p.trace.At(p.fetchSeq)
+		if d == nil {
+			p.markTraceEnd()
+			return
+		}
+		// Instruction cache: charge one access per block transition.
+		blk := d.PC >> iCacheBlockShift
+		if !p.haveFetchBlock || blk != p.lastFetchBlock {
+			if blocks == maxFetchBlocks {
+				break
+			}
+			blocks++
+			done := p.hier.I.Access(d.PC, p.cycle, false)
+			p.lastFetchBlock, p.haveFetchBlock = blk, true
+			if done > p.cycle+p.hier.I.Config().HitLatency {
+				// Miss: these instructions arrive when the fill does.
+				p.fetchResumeAt = done
+				break
+			}
+		}
+		rec := fetchRec{seq: p.fetchSeq, ready: p.cycle + int64(p.cfg.FrontEndDepth)}
+		if d.IsBranch() {
+			if branches == p.cfg.BranchesPerCycle {
+				break
+			}
+			branches++
+			p.predictBranch(d, &rec)
+		}
+		p.fetchQ = append(p.fetchQ, rec)
+		p.fetchSeq++
+		fetched++
+		if rec.bpWrong {
+			// Stall until the branch resolves; optionally stream
+			// wrong-path fetches meanwhile.
+			p.blockedOnBranch = rec.seq
+			p.wrongPathPC = rec.wrongPC
+			p.wrongPathBlocks = wrongPathBlockBudget
+			break
+		}
+	}
+}
+
+// predictBranch runs the branch predictor for the fetched branch d and
+// records the prediction in rec. rec.bpWrong is set when the predicted
+// next PC differs from the architectural one.
+func (p *Pipeline) predictBranch(d *emu.DynInst, rec *fetchRec) {
+	in := d.Inst
+	fallthrough_ := d.PC + isa.InstBytes
+	if in.Op.IsCondBranch() {
+		rec.bpIsCond = true
+		rec.bpHist = p.bp.History()
+		pred := p.bp.PredictDirection(d.PC)
+		rec.bpPred = pred
+		p.bp.SpeculateHistory(pred)
+		rec.bpWrong = pred != d.Taken
+		if pred {
+			rec.wrongPC = in.Target
+		} else {
+			rec.wrongPC = fallthrough_
+		}
+		return
+	}
+	_, tgt := p.bp.Predict(d.PC, in, fallthrough_)
+	rec.bpWrong = tgt != d.NextPC
+	rec.wrongPC = tgt
+}
+
+// fetchSplit implements the distributed, split-window front end of §3.7:
+// the window is divided into SplitUnits sub-windows; tasks (contiguous
+// trace chunks the size of a sub-window) are assigned round-robin; each
+// unit fetches its own task independently, so younger instructions may
+// be fetched long before older ones.
+func (p *Pipeline) fetchSplit() {
+	units := p.cfg.SplitUnits
+	perUnit := p.cfg.FetchWidth / units
+	if perUnit == 0 {
+		perUnit = 1
+	}
+	taskSize := int64(p.cfg.Window / units)
+	for u := 0; u < units; u++ {
+		if p.unitFetchSeq[u] == noSeq {
+			p.unitFetchSeq[u] = int64(u) * taskSize // initial task
+		}
+		if p.unitBlockedOn[u] != noSeq || p.cycle < p.unitResumeAt[u] {
+			continue
+		}
+		fetched, branches, blocks := 0, 0, 0
+		for fetched < perUnit {
+			seq := p.unitFetchSeq[u]
+			if p.traceEnded && seq >= p.traceLen {
+				break // this unit has run off the end of the program
+			}
+			// The slot must be free (previous occupant committed).
+			if seq >= p.headSeq+int64(p.cfg.Window) {
+				break
+			}
+			d := p.trace.At(seq)
+			if d == nil {
+				p.markTraceEnd()
+				break
+			}
+			blk := d.PC >> iCacheBlockShift
+			if !p.unitHaveBlock[u] || blk != p.unitFetchBlock[u] {
+				if blocks == maxFetchBlocks {
+					break
+				}
+				blocks++
+				done := p.hier.I.Access(d.PC, p.cycle, false)
+				p.unitFetchBlock[u], p.unitHaveBlock[u] = blk, true
+				if done > p.cycle+p.hier.I.Config().HitLatency {
+					p.unitResumeAt[u] = done
+					break
+				}
+			}
+			rec := fetchRec{seq: seq, ready: p.cycle + int64(p.cfg.FrontEndDepth), unit: u}
+			if d.IsBranch() {
+				if branches == p.cfg.BranchesPerCycle {
+					break
+				}
+				branches++
+				p.predictBranch(d, &rec)
+			}
+			p.fetchQ = append(p.fetchQ, rec)
+			p.advanceUnitFetch(u, taskSize)
+			fetched++
+			if rec.bpWrong {
+				p.unitBlockedOn[u] = rec.seq
+				break
+			}
+		}
+	}
+}
+
+// advanceUnitFetch moves unit u's fetch pointer to the next instruction
+// of its current task, or to the start of its next task.
+func (p *Pipeline) advanceUnitFetch(u int, taskSize int64) {
+	seq := p.unitFetchSeq[u] + 1
+	if seq%taskSize == 0 {
+		// Finished the task: skip to this unit's next one.
+		seq += int64(p.cfg.SplitUnits-1) * taskSize
+	}
+	p.unitFetchSeq[u] = seq
+}
+
+// dispatch moves front-end instructions into the window, resolving
+// register dependences and applying per-policy dispatch-time work
+// (predictor lookups, synonym matching).
+func (p *Pipeline) dispatch() {
+	width := p.cfg.IssueWidth
+	lsq := p.cfg.LSQSize
+	if lsq == 0 {
+		lsq = p.cfg.Window
+	}
+	out := p.fetchQ[:0]
+	dispatched := 0
+	for i := range p.fetchQ {
+		rec := p.fetchQ[i]
+		lsqFull := p.memInFlight >= lsq && p.trace.At(rec.seq).Inst.Op.IsMem()
+		if dispatched >= width || rec.ready > p.cycle || rec.seq >= p.headSeq+int64(p.cfg.Window) || lsqFull {
+			if !p.cfg.SplitWindow {
+				// Program order: nothing younger can go either.
+				out = append(out, p.fetchQ[i:]...)
+				break
+			}
+			out = append(out, rec)
+			continue
+		}
+		p.dispatchOne(rec)
+		dispatched++
+	}
+	p.fetchQ = out
+}
+
+// dispatchOne installs one instruction into its window slot.
+func (p *Pipeline) dispatchOne(rec fetchRec) {
+	d := p.trace.At(rec.seq)
+	e := p.slot(rec.seq)
+	*e = robEntry{
+		di:          *d,
+		dep1:        d.Dep1Seq,
+		dep2:        d.Dep2Seq,
+		addrReady:   notYet,
+		addrPosted:  notYet,
+		memDone:     notYet,
+		doneCycle:   notYet,
+		valueSource: noSeq,
+		syncOnSeq:   noSeq,
+		bpHist:      rec.bpHist,
+		bpPred:      rec.bpPred,
+		bpWrong:     rec.bpWrong,
+		bpIsCond:    rec.bpIsCond,
+		couldIssue:  notYet,
+		valid:       true,
+	}
+	if rec.seq >= p.dispatchSeq {
+		p.dispatchSeq = rec.seq + 1
+	}
+
+	op := d.Inst.Op
+	switch {
+	case op.IsStore():
+		p.memInFlight++
+		p.dispatchStore(e)
+	case op.IsLoad():
+		p.memInFlight++
+		p.dispatchLoad(e)
+	}
+}
+
+// dispatchStore applies store-side policy work at dispatch.
+func (p *Pipeline) dispatchStore(e *robEntry) {
+	seq := e.di.Seq
+	insertSorted(&p.pendingStores, seq)
+	if p.cfg.UseAddressScheduler {
+		insertSorted(&p.unpostedStores, seq)
+	}
+	switch p.cfg.Policy {
+	case config.StoreBarrier:
+		if p.sbar.Predict(e.di.PC, p.cycle) {
+			e.barrier = true
+			insertSorted(&p.pendingBarriers, seq)
+		}
+	case config.Sync:
+		if syn, ok := p.mdpt.StoreSynonym(e.di.PC, p.cycle); ok {
+			e.storeIsSyn, e.synonym = true, syn
+		}
+	case config.StoreSets:
+		if id, ok := p.ssets.SSID(e.di.PC, p.cycle); ok {
+			e.storeIsSyn, e.synonym = true, id
+		}
+	}
+}
+
+// dispatchLoad applies load-side policy work at dispatch.
+func (p *Pipeline) dispatchLoad(e *robEntry) {
+	switch p.cfg.Policy {
+	case config.Selective:
+		e.waitAll = p.sel.Predict(e.di.PC, p.cycle)
+	case config.Sync:
+		if syn, ok := p.mdpt.LoadSynonym(e.di.PC, p.cycle); ok {
+			e.hasSyn, e.synonym = true, syn
+			e.syncOnSeq = p.closestSynonymStore(e.di.Seq, syn)
+		}
+	case config.StoreSets:
+		if id, ok := p.ssets.SSID(e.di.PC, p.cycle); ok {
+			e.hasSyn, e.synonym = true, id
+			e.syncOnSeq = p.closestSynonymStore(e.di.Seq, id)
+		}
+	}
+}
+
+// closestSynonymStore returns the youngest in-window store older than
+// loadSeq marked as a producer of synonym syn, or noSeq.
+func (p *Pipeline) closestSynonymStore(loadSeq int64, syn uint32) int64 {
+	lo := p.headSeq
+	for s := loadSeq - 1; s >= lo; s-- {
+		e := p.slot(s)
+		if !e.valid || e.di.Seq != s {
+			continue
+		}
+		if e.di.IsStore() && e.storeIsSyn && e.synonym == syn {
+			return s
+		}
+	}
+	return noSeq
+}
+
+// insertSorted inserts seq into the ascending slice.
+func insertSorted(s *[]int64, seq int64) {
+	xs := *s
+	i := len(xs)
+	for i > 0 && xs[i-1] > seq {
+		i--
+	}
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = seq
+	*s = xs
+}
+
+// removeSorted removes seq from the ascending slice if present.
+func removeSorted(s *[]int64, seq int64) {
+	xs := *s
+	for i, v := range xs {
+		if v == seq {
+			*s = append(xs[:i], xs[i+1:]...)
+			return
+		}
+		if v > seq {
+			return
+		}
+	}
+}
+
+// markTraceEnd records the program's exact dynamic length the first time
+// fetch runs off the end of the trace. Other fetch sequencers (split
+// window) keep fetching instructions below this bound.
+func (p *Pipeline) markTraceEnd() {
+	p.traceEnded = true
+	p.traceLen = p.trace.Len()
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"mdspec/internal/config"
+	"mdspec/internal/emu"
+	"mdspec/internal/workload"
+)
+
+func TestInOrderRuns(t *testing.T) {
+	m := NewInOrder(config.Default128(), emu.NewTrace(emu.New(workload.MustBuild("126.gcc"))))
+	r, err := m.Run(20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Committed != 20_000 {
+		t.Fatalf("committed %d", r.Committed)
+	}
+	if r.IPC() <= 0 || r.IPC() > 1 {
+		t.Errorf("in-order scalar IPC must be in (0, 1], got %.3f", r.IPC())
+	}
+	if _, err := m.Run(10); err == nil {
+		t.Error("second Run should fail")
+	}
+}
+
+func TestOutOfOrderNeverSlowerThanInOrder(t *testing.T) {
+	// The differential lower bound: every OOO configuration must commit
+	// the same work at least as fast as the blocking scalar model.
+	for _, bench := range []string{"129.compress", "102.swim", "130.li"} {
+		p := workload.MustBuild(bench)
+		ref := NewInOrder(config.Default128(), emu.NewTrace(emu.New(p)))
+		base, err := ref.Run(20_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range []config.Machine{
+			config.Default128().WithPolicy(config.NoSpec),
+			config.Default128().WithPolicy(config.Naive),
+			config.Small64().WithPolicy(config.NoSpec),
+		} {
+			pl, err := New(cfg, emu.NewTrace(emu.New(p)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := pl.Run(20_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.IPC() < base.IPC() {
+				t.Errorf("%s on %s: OOO IPC %.3f below in-order %.3f",
+					cfg.Name(), bench, r.IPC(), base.IPC())
+			}
+		}
+	}
+}
+
+func TestInOrderHaltingProgram(t *testing.T) {
+	m := NewInOrder(config.Default128(), emu.NewTrace(emu.New(workload.KernelRecurrence(100))))
+	r, err := m.Run(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Committed == 0 || r.Committed > 1000 {
+		t.Errorf("unexpected committed count %d", r.Committed)
+	}
+}

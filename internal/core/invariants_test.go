@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mdspec/internal/config"
+	"mdspec/internal/emu"
+	"mdspec/internal/workload"
+)
+
+// checkInvariants validates the pipeline's internal bookkeeping; tests
+// call it between steps to catch state corruption early.
+func (p *Pipeline) checkInvariants() error {
+	// Occupancy bounded by the window.
+	if p.dispatchSeq-p.headSeq > int64(p.cfg.Window) {
+		return fmt.Errorf("window over-full: head=%d dispatch=%d", p.headSeq, p.dispatchSeq)
+	}
+	// Sorted pending lists contain only valid, in-flight, un-completed stores.
+	checkList := func(name string, lst []int64) error {
+		for i, s := range lst {
+			if i > 0 && lst[i-1] >= s {
+				return fmt.Errorf("%s not strictly ascending at %d: %v", name, i, lst)
+			}
+			e := p.slot(s)
+			if !e.valid || e.di.Seq != s {
+				return fmt.Errorf("%s references dead seq %d", name, s)
+			}
+			if !e.di.IsStore() {
+				return fmt.Errorf("%s references non-store seq %d", name, s)
+			}
+		}
+		return nil
+	}
+	if err := checkList("pendingStores", p.pendingStores); err != nil {
+		return err
+	}
+	if err := checkList("unpostedStores", p.unpostedStores); err != nil {
+		return err
+	}
+	if err := checkList("pendingBarriers", p.pendingBarriers); err != nil {
+		return err
+	}
+	// A completed store must not be in pendingStores.
+	for _, s := range p.pendingStores {
+		if p.slot(s).completed {
+			return fmt.Errorf("completed store %d still pending", s)
+		}
+	}
+	// Address maps reference live entries of the right kind.
+	for addr, lst := range p.storesByAddr {
+		for _, s := range lst {
+			e := p.slot(s)
+			if !e.valid || e.di.Seq != s || !e.di.IsStore() || e.di.Addr != addr {
+				return fmt.Errorf("storesByAddr[%#x] stale seq %d", addr, s)
+			}
+		}
+	}
+	for addr, lst := range p.loadsByAddr {
+		for _, s := range lst {
+			e := p.slot(s)
+			if !e.valid || e.di.Seq != s || !e.di.IsLoad() || e.di.Addr != addr {
+				return fmt.Errorf("loadsByAddr[%#x] stale seq %d", addr, s)
+			}
+		}
+	}
+	// Commit pointer sanity.
+	if p.res.Committed != p.headSeq-p.res.Skipped {
+		return fmt.Errorf("committed %d != head %d - skipped %d", p.res.Committed, p.headSeq, p.res.Skipped)
+	}
+	// LSQ occupancy must equal the in-flight memory instructions.
+	memCount := 0
+	for seq := p.headSeq; seq < p.dispatchSeq; seq++ {
+		e := p.slot(seq)
+		if e.valid && e.di.Seq == seq && e.di.Inst.Op.IsMem() {
+			memCount++
+		}
+	}
+	if memCount != p.memInFlight {
+		return fmt.Errorf("memInFlight %d != actual %d", p.memInFlight, memCount)
+	}
+	return nil
+}
+
+// TestInvariantsUnderAllPolicies steps several configurations cycle by
+// cycle with the invariant checker armed.
+func TestInvariantsUnderAllPolicies(t *testing.T) {
+	cfgs := []config.Machine{
+		config.Default128().WithPolicy(config.NoSpec),
+		config.Default128().WithPolicy(config.Naive),
+		config.Default128().WithPolicy(config.Sync),
+		config.Default128().WithPolicy(config.StoreBarrier),
+		config.Default128().WithPolicy(config.Naive).WithAddressScheduler(1),
+		config.Default128().WithPolicy(config.NoSpec).WithAddressScheduler(0),
+		config.Default128().WithPolicy(config.Naive).WithRecovery(config.RecoverySelective),
+		config.Default128().WithPolicy(config.Naive).WithSplitWindow(4),
+	}
+	for _, cfg := range cfgs {
+		cfg := cfg
+		t.Run(cfg.Name(), func(t *testing.T) {
+			pl, err := New(cfg, emu.NewTrace(emu.New(workload.MustBuild("129.compress"))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 4000; i++ {
+				pl.step()
+				if i%7 == 0 { // checking every cycle is slow; sample densely
+					if err := pl.checkInvariants(); err != nil {
+						t.Fatalf("cycle %d: %v", i, err)
+					}
+				}
+			}
+			if pl.res.Committed == 0 {
+				t.Fatal("no progress")
+			}
+		})
+	}
+}
+
+// TestSimulationDeterministic runs identical simulations twice and
+// requires bit-identical statistics.
+func TestSimulationDeterministic(t *testing.T) {
+	cfgs := []config.Machine{
+		config.Default128().WithPolicy(config.Naive),
+		config.Default128().WithPolicy(config.Sync),
+		config.Default128().WithPolicy(config.Naive).WithAddressScheduler(1),
+		config.Default128().WithPolicy(config.Naive).WithSplitWindow(4),
+	}
+	for _, cfg := range cfgs {
+		for _, bench := range []string{"126.gcc", "104.hydro2d"} {
+			run := func() string {
+				pl, err := New(cfg, emu.NewTrace(emu.New(workload.MustBuild(bench))))
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := pl.Run(20_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return fmt.Sprintf("%d/%d/%d/%d/%d", r.Cycles, r.Committed,
+					r.Misspeculations, r.SquashedInsts, r.BranchMispredicts)
+			}
+			a, b := run(), run()
+			if a != b {
+				t.Errorf("%s on %s not deterministic: %s vs %s", cfg.Name(), bench, a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,475 @@
+package core
+
+import (
+	"mdspec/internal/config"
+	"mdspec/internal/isa"
+)
+
+// agenLatency is address generation: one cycle to fetch the base
+// register plus one cycle for the add (§3.4.1's discussion).
+const agenLatency = 2
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// issue is the out-of-order issue stage. The continuous window scans
+// strictly oldest-first (program order priority, §2.2); the split window
+// rotates across units, giving no global program-order priority.
+func (p *Pipeline) issue() {
+	if p.cfg.SplitWindow {
+		p.issueSplit()
+		return
+	}
+	for seq := p.headSeq; seq < p.dispatchSeq && p.issueLeft > 0; seq++ {
+		e := p.slot(seq)
+		if !e.valid || e.di.Seq != seq {
+			continue
+		}
+		p.tryIssue(e)
+	}
+}
+
+// issueSplit performs round-robin issue across split-window units: each
+// pass offers one issue opportunity per unit, starting from a rotating
+// unit, until the issue width is exhausted or nothing can issue.
+func (p *Pipeline) issueSplit() {
+	units := p.cfg.SplitUnits
+	taskSize := int64(p.cfg.Window / units)
+	// Per-unit cursors over the in-flight range.
+	cursors := make([]int64, units)
+	for u := range cursors {
+		cursors[u] = p.headSeq
+	}
+	for p.issueLeft > 0 {
+		progress := false
+		for off := 0; off < units && p.issueLeft > 0; off++ {
+			u := (p.issueRotate + off) % units
+			// Advance this unit's cursor to its next issuable uop.
+			for seq := cursors[u]; seq < p.headSeq+int64(p.cfg.Window); seq++ {
+				if int((seq/taskSize)%int64(units)) != u {
+					continue
+				}
+				e := p.slot(seq)
+				if !e.valid || e.di.Seq != seq {
+					continue
+				}
+				if p.tryIssue(e) {
+					cursors[u] = seq // revisit: entry may have a second uop
+					progress = true
+					break
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	p.issueRotate++
+}
+
+// unitOf returns the split-window unit owning seq.
+func (p *Pipeline) unitOf(seq int64) int {
+	taskSize := int64(p.cfg.Window / p.cfg.SplitUnits)
+	return int((seq / taskSize) % int64(p.cfg.SplitUnits))
+}
+
+// tryIssue attempts to issue the entry's next pending uop; it reports
+// whether anything issued this call.
+func (p *Pipeline) tryIssue(e *robEntry) bool {
+	op := e.di.Inst.Op
+	switch {
+	case op.IsLoad():
+		return p.tryIssueLoad(e)
+	case op.IsStore():
+		return p.tryIssueStore(e)
+	default:
+		return p.tryIssueSimple(e)
+	}
+}
+
+// depReady reports whether the operand produced by dep is available.
+func (p *Pipeline) depReady(dep int64) bool {
+	if dep == noSeq || dep < p.headSeq {
+		return true // from the register file
+	}
+	e := p.slot(dep)
+	if !e.valid || e.di.Seq != dep {
+		// Split window: the producer has not even been fetched yet.
+		return false
+	}
+	if e.di.IsLoad() || e.di.IsStore() {
+		return e.memIssued && p.cycle >= e.memDone
+	}
+	return e.state == stIssued && p.cycle >= e.doneCycle
+}
+
+// markPropagated flags producing loads whose value this issue consumed
+// (used by the AS/NAV misspeculation conditions, §3.4).
+func (p *Pipeline) markPropagated(deps ...int64) {
+	for _, dep := range deps {
+		if dep == noSeq || dep < p.headSeq {
+			continue
+		}
+		e := p.slot(dep)
+		if e.valid && e.di.Seq == dep && e.di.IsLoad() {
+			e.propagated = true
+		}
+	}
+}
+
+// takeFU consumes a functional unit of the class, reporting success.
+// The issue slot itself is consumed by the caller on success.
+func (p *Pipeline) takeFU(c isa.Class) bool {
+	switch c {
+	case isa.ClassIntMult, isa.ClassIntDiv:
+		if p.mulLeft == 0 {
+			return false
+		}
+		p.mulLeft--
+	case isa.ClassFPAdd, isa.ClassFPMulS, isa.ClassFPMulD, isa.ClassFPDivS, isa.ClassFPDivD:
+		if p.fpLeft == 0 {
+			return false
+		}
+		p.fpLeft--
+	case isa.ClassNop:
+		// No functional unit.
+	default: // integer ALU, branches, address adds
+		if p.aluLeft == 0 {
+			return false
+		}
+		p.aluLeft--
+	}
+	return true
+}
+
+// tryIssueSimple handles non-memory instructions (ALU, FP, branches).
+func (p *Pipeline) tryIssueSimple(e *robEntry) bool {
+	if e.state != stWaiting {
+		return false
+	}
+	if !p.depReady(e.dep1) || !p.depReady(e.dep2) {
+		return false
+	}
+	if p.issueLeft == 0 || !p.takeFU(e.di.Inst.Op.Class()) {
+		return false
+	}
+	p.issueLeft--
+	e.state = stIssued
+	e.issueCycle = p.cycle
+	e.doneCycle = p.cycle + int64(e.di.Inst.Op.Class().Latency())
+	p.markPropagated(e.dep1, e.dep2)
+	if e.di.IsBranch() {
+		p.resolveBranch(e)
+	}
+	return true
+}
+
+// resolveBranch trains the predictor and, on a misprediction, schedules
+// the fetch redirect for when the branch completes.
+func (p *Pipeline) resolveBranch(e *robEntry) {
+	d := &e.di
+	if e.bpIsCond {
+		p.bp.Resolve(d.PC, e.bpHist, e.bpPred, d.Taken)
+	}
+	if d.Inst.Op == isa.JR {
+		p.bp.UpdateTarget(d.PC, d.NextPC)
+	}
+	if !e.bpWrong {
+		return
+	}
+	resume := e.doneCycle + 1
+	if p.cfg.SplitWindow {
+		u := p.unitOf(d.Seq)
+		if p.unitBlockedOn[u] == d.Seq {
+			p.unitBlockedOn[u] = noSeq
+			p.unitResumeAt[u] = max64(p.unitResumeAt[u], resume)
+			p.unitHaveBlock[u] = false
+		}
+		return
+	}
+	if p.blockedOnBranch == d.Seq {
+		p.blockedOnBranch = noSeq
+		p.fetchResumeAt = max64(p.fetchResumeAt, resume)
+		p.haveFetchBlock = false
+	}
+}
+
+// tryIssueStore advances a store: under AS, address generation issues as
+// soon as the base register is ready (consuming issue bandwidth and an
+// ALU — the §3.4.1 resource cost) and the address is posted to the
+// scheduler after the scheduler latency; the data-merge issues when the
+// value arrives. Under NAS, the store issues once, when both address and
+// data operands are ready.
+func (p *Pipeline) tryIssueStore(e *robEntry) bool {
+	if e.memIssued {
+		return false
+	}
+	if p.cfg.UseAddressScheduler {
+		if !e.agenIssued {
+			if !p.depReady(e.dep1) || p.issueLeft == 0 || !p.takeFU(isa.ClassIntALU) {
+				return false
+			}
+			p.issueLeft--
+			e.agenIssued = true
+			e.addrReady = p.cycle + agenLatency
+			e.addrPosted = e.addrReady + int64(p.cfg.SchedulerLatency)
+			p.postQ = append(p.postQ, e.di.Seq)
+			p.markPropagated(e.dep1)
+			return true
+		}
+		if p.cycle < e.addrReady || !p.depReady(e.dep2) || p.issueLeft == 0 {
+			return false
+		}
+		p.issueLeft--
+		e.memIssued = true
+		e.memIssue = p.cycle
+		e.memDone = p.cycle + 1 // merge the data into the buffer entry
+		e.state = stIssued
+		e.doneCycle = e.memDone
+		p.compQ = append(p.compQ, e.di.Seq)
+		p.markPropagated(e.dep2)
+		return true
+	}
+	// NAS: single issue event needing base and data.
+	if !p.depReady(e.dep1) || !p.depReady(e.dep2) {
+		return false
+	}
+	if p.issueLeft == 0 || !p.takeFU(isa.ClassIntALU) {
+		return false
+	}
+	p.issueLeft--
+	e.memIssued = true
+	e.memIssue = p.cycle
+	e.memDone = p.cycle + agenLatency // operand fetch + address add
+	e.state = stIssued
+	e.doneCycle = e.memDone
+	e.addrReady = e.memDone
+	p.compQ = append(p.compQ, e.di.Seq)
+	p.markPropagated(e.dep1, e.dep2)
+	return true
+}
+
+// tryIssueLoad advances a load through its two phases: address
+// generation (register-scheduled), then the memory access (scheduled by
+// the active load/store policy).
+func (p *Pipeline) tryIssueLoad(e *robEntry) bool {
+	if !e.agenIssued {
+		if !p.depReady(e.dep1) || p.issueLeft == 0 || !p.takeFU(isa.ClassIntALU) {
+			return false
+		}
+		p.issueLeft--
+		e.agenIssued = true
+		e.addrReady = p.cycle + agenLatency
+		p.markPropagated(e.dep1)
+		return true
+	}
+	if e.memIssued || p.cycle < e.addrReady {
+		return false
+	}
+	if e.couldIssue == notYet {
+		e.couldIssue = max64(e.addrReady, p.cycle)
+	}
+	eligible, storeWait := p.loadEligible(e)
+	if !eligible {
+		if storeWait && !e.fdCounted {
+			// Table 3 accounting: at the moment the load could otherwise
+			// access memory, does a true dependence actually exist?
+			e.fdCounted = true
+			e.fdFalse = !p.trueDepPending(e)
+		}
+		return false
+	}
+	if p.issueLeft == 0 || p.portLeft == 0 {
+		return false
+	}
+	p.issueLeft--
+	p.portLeft--
+	p.issueLoadMem(e)
+	return true
+}
+
+// loadEligible applies the active policy. storeWait reports that the
+// load is (or would be) blocked behind unresolved earlier stores — used
+// for false-dependence accounting.
+func (p *Pipeline) loadEligible(e *robEntry) (eligible, storeWait bool) {
+	seq := e.di.Seq
+	if p.cfg.UseAddressScheduler {
+		return p.loadEligibleAS(e)
+	}
+	switch p.cfg.Policy {
+	case config.NoSpec:
+		if p.anyPendingStoreBefore(seq) {
+			return false, true
+		}
+		return true, false
+	case config.Naive:
+		return true, false
+	case config.Selective:
+		if e.waitAll && p.anyPendingStoreBefore(seq) {
+			return false, true
+		}
+		return true, false
+	case config.StoreBarrier:
+		if len(p.pendingBarriers) > 0 && p.pendingBarriers[0] < seq {
+			return false, true
+		}
+		return true, false
+	case config.Sync, config.StoreSets:
+		if e.hasSyn && e.syncOnSeq != noSeq {
+			s := p.slot(e.syncOnSeq)
+			if s.valid && s.di.Seq == e.syncOnSeq && s.di.IsStore() {
+				// Free to issue one cycle after the producer issues.
+				if !s.memIssued || p.cycle < s.memIssue+1 {
+					return false, true
+				}
+			}
+		}
+		return true, false
+	case config.Oracle:
+		// Perfect knowledge: wait exactly for the producing store, even
+		// if (split window) it has not been fetched yet.
+		prod := e.di.ProducerSeq
+		if prod != noSeq && prod >= p.headSeq {
+			s := p.slot(prod)
+			if !s.valid || s.di.Seq != prod || !s.memIssued || p.cycle < s.memIssue+1 {
+				return false, true
+			}
+		}
+		return true, false
+	}
+	return true, false
+}
+
+// loadEligibleAS implements the address-based scheduler: the load
+// compares its address against the posted addresses of earlier stores.
+// A posted match always makes the load wait for that store's data; under
+// AS/NO, unposted earlier stores also block the load.
+func (p *Pipeline) loadEligibleAS(e *robEntry) (eligible, storeWait bool) {
+	seq := e.di.Seq
+	if p.cfg.Policy == config.NoSpec && p.anyUnpostedStoreBefore(seq) {
+		return false, true
+	}
+	if m := p.youngestPostedMatch(e.di.Addr, seq); m != nil {
+		if !m.memIssued || p.cycle < m.memIssue+1 {
+			return false, true
+		}
+	}
+	return true, false
+}
+
+// anyPendingStoreBefore reports whether any store older than seq has not
+// yet executed.
+func (p *Pipeline) anyPendingStoreBefore(seq int64) bool {
+	return len(p.pendingStores) > 0 && p.pendingStores[0] < seq
+}
+
+// anyUnpostedStoreBefore reports whether any store older than seq has
+// not yet posted its address to the scheduler.
+func (p *Pipeline) anyUnpostedStoreBefore(seq int64) bool {
+	return len(p.unpostedStores) > 0 && p.unpostedStores[0] < seq
+}
+
+// youngestPostedMatch returns the youngest store older than loadSeq
+// whose posted address matches addr, or nil.
+func (p *Pipeline) youngestPostedMatch(addr uint32, loadSeq int64) *robEntry {
+	lst := p.storesByAddr[addr]
+	for i := len(lst) - 1; i >= 0; i-- {
+		s := lst[i]
+		if s >= loadSeq {
+			continue
+		}
+		e := p.slot(s)
+		if e.valid && e.di.Seq == s {
+			return e
+		}
+	}
+	return nil
+}
+
+// trueDepPending reports whether the load's architectural producer store
+// is uncommitted and not yet executed (including, in the split window,
+// producers that have not even been fetched).
+func (p *Pipeline) trueDepPending(e *robEntry) bool {
+	prod := e.di.ProducerSeq
+	if prod == noSeq || prod < p.headSeq {
+		return false
+	}
+	s := p.slot(prod)
+	if !s.valid || s.di.Seq != prod {
+		return true // not yet dispatched (split window)
+	}
+	return !s.memIssued || p.cycle < s.memDone
+}
+
+// issueLoadMem launches the load's memory access: forwarding from the
+// store buffer when the producing store has executed, otherwise a
+// (possibly stale) D-cache access. Under AS the scheduler latency is
+// added in front of the access.
+func (p *Pipeline) issueLoadMem(e *robEntry) {
+	eff := p.cycle
+	if p.cfg.UseAddressScheduler {
+		eff += int64(p.cfg.SchedulerLatency)
+	}
+	var done int64
+	prod := e.di.ProducerSeq
+	if prod != noSeq && prod >= p.headSeq {
+		// The producing store has not committed: it is either in flight
+		// or (split window) not yet fetched.
+		pe := p.slot(prod)
+		if pe.valid && pe.di.Seq == prod && pe.memIssued {
+			// Store buffer forward of the correct value.
+			done = max64(eff, pe.memDone) + 1
+			e.valueSource = prod
+			e.specValue = e.di.LoadVal
+			p.res.Forwards++
+		} else if src := p.youngestExecutedMatch(e.di.Addr, e.di.Seq); src != nil {
+			// Speculative forward from an older (stale) store.
+			done = max64(eff, src.memDone) + 1
+			e.valueSource = src.di.Seq
+			e.specValue = src.di.StoreVal
+			p.res.Forwards++
+		} else {
+			// Speculative read around the pending producer: the load
+			// obtains the pre-store memory value.
+			done = p.hier.D.Access(e.di.Addr, eff, false)
+			e.valueSource = noSeq
+			e.specValue = p.trace.At(prod).OldVal
+		}
+	} else {
+		// No in-window producer: architecturally clean access.
+		done = p.hier.D.Access(e.di.Addr, eff, false)
+		e.valueSource = noSeq
+		e.specValue = e.di.LoadVal
+	}
+	e.memIssued = true
+	e.memIssue = p.cycle
+	e.memDone = done
+	e.doneCycle = done
+	e.state = stIssued
+	// Loads issue out of order, so keep the per-address list sorted for
+	// the sorted-removal helpers.
+	lst := p.loadsByAddr[e.di.Addr]
+	insertSorted(&lst, e.di.Seq)
+	p.loadsByAddr[e.di.Addr] = lst
+}
+
+// youngestExecutedMatch returns the youngest executed in-window store
+// older than loadSeq writing addr, or nil.
+func (p *Pipeline) youngestExecutedMatch(addr uint32, loadSeq int64) *robEntry {
+	lst := p.storesByAddr[addr]
+	for i := len(lst) - 1; i >= 0; i-- {
+		s := lst[i]
+		if s >= loadSeq {
+			continue
+		}
+		e := p.slot(s)
+		if e.valid && e.di.Seq == s && e.memIssued && p.cycle >= e.memDone {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,324 @@
+package core
+
+import "mdspec/internal/config"
+
+// processStoreEvents runs at the start of each cycle: it publishes store
+// addresses that have reached the address-based scheduler (AS) and
+// finalizes stores whose execution completes this cycle — inserting them
+// into the disambiguation structures and checking younger speculative
+// loads for memory-order violations.
+func (p *Pipeline) processStoreEvents() {
+	if len(p.postQ) > 0 {
+		keep := p.postQ[:0]
+		for _, seq := range p.postQ {
+			e := p.slot(seq)
+			if !e.valid || e.di.Seq != seq {
+				continue // squashed
+			}
+			if p.cycle < e.addrPosted {
+				keep = append(keep, seq)
+				continue
+			}
+			// The address is now visible to the scheduler: it no longer
+			// blocks AS/NO loads, and matching loads will wait on it.
+			removeSorted(&p.unpostedStores, seq)
+			lst := p.storesByAddr[e.di.Addr]
+			insertSorted(&lst, seq)
+			p.storesByAddr[e.di.Addr] = lst
+		}
+		p.postQ = keep
+	}
+	if len(p.compQ) > 0 {
+		keep := p.compQ[:0]
+		for _, seq := range p.compQ {
+			e := p.slot(seq)
+			if !e.valid || e.di.Seq != seq || !e.memIssued {
+				continue // squashed or selectively invalidated
+			}
+			if p.cycle < e.memDone {
+				keep = append(keep, seq)
+				continue
+			}
+			p.completeStore(e)
+		}
+		p.compQ = keep
+	}
+}
+
+// completeStore finalizes an executed store: its data is in the store
+// buffer and its address is known to the violation-detection hardware.
+func (p *Pipeline) completeStore(e *robEntry) {
+	seq := e.di.Seq
+	e.completed = true
+	removeSorted(&p.pendingStores, seq)
+	if e.barrier {
+		removeSorted(&p.pendingBarriers, seq)
+	}
+	if !p.cfg.UseAddressScheduler {
+		// Under AS the address was published at posting time.
+		lst := p.storesByAddr[e.di.Addr]
+		insertSorted(&lst, seq)
+		p.storesByAddr[e.di.Addr] = lst
+	} else {
+		removeSorted(&p.unpostedStores, seq)
+	}
+	p.checkViolations(e)
+}
+
+// checkViolations scans younger loads that already performed a memory
+// access to the same word without seeing this store's value. Under NAS
+// policies a match squashes immediately; under AS/NAV the paper's three
+// conditions apply (§3.4): the load must have read, propagated the value
+// to a dependent, and the value must differ — otherwise the load's value
+// is silently corrected in the store buffer.
+func (p *Pipeline) checkViolations(st *robEntry) {
+	lst := p.loadsByAddr[st.di.Addr]
+	stSeq := st.di.Seq
+	for _, ls := range lst {
+		if ls <= stSeq {
+			continue
+		}
+		le := p.slot(ls)
+		if !le.valid || le.di.Seq != ls || !le.memIssued {
+			continue
+		}
+		if le.valueSource >= stSeq {
+			continue // load already saw this store (or a younger one)
+		}
+		if p.cfg.UseAddressScheduler {
+			if le.propagated && le.specValue != st.di.StoreVal {
+				p.squashFrom(le, st)
+				return
+			}
+			// Silent or un-propagated: correct the load in place.
+			le.valueSource = stSeq
+			le.specValue = st.di.StoreVal
+			if !le.propagated {
+				nd := max64(le.memDone, p.cycle+1)
+				le.memDone, le.doneCycle = nd, nd
+			}
+			continue
+		}
+		// NAS detection is address-based: any match is a violation.
+		if p.cfg.Recovery == config.RecoverySelective {
+			p.selectiveInvalidate(le, st)
+			continue // later loads of the same word may also need fixing
+		}
+		p.squashFrom(le, st)
+		return
+	}
+}
+
+// selectiveInvalidate implements the paper's §2 alternative to squash
+// invalidation: only the misspeculated load and the instructions that
+// consumed its erroneous value are re-executed; independent younger work
+// survives. The load re-forwards the store's value; every transitive
+// consumer is reset to re-issue.
+func (p *Pipeline) selectiveInvalidate(load, st *robEntry) {
+	p.res.Misspeculations++
+	p.trainPredictors(load.di.PC, st.di.PC)
+
+	// The load re-executes by forwarding the just-completed store.
+	load.valueSource = st.di.Seq
+	load.specValue = st.di.StoreVal
+	load.propagated = false
+	nd := max64(p.cycle+1+int64(p.cfg.SquashOverhead), st.memDone+1)
+	load.memDone, load.doneCycle = nd, nd
+	p.res.SquashedInsts++ // work redone
+
+	// Transitively reset consumers of invalidated values.
+	invalid := map[int64]bool{load.di.Seq: true}
+	for seq := load.di.Seq + 1; seq < p.dispatchSeq; seq++ {
+		e := p.slot(seq)
+		if !e.valid || e.di.Seq != seq {
+			continue
+		}
+		depends := invalid[e.dep1] || invalid[e.dep2] ||
+			(e.di.IsLoad() && e.memIssued && invalid[e.valueSource])
+		if !depends {
+			continue
+		}
+		if p.resetForReexecution(e) {
+			invalid[seq] = true
+			p.res.SquashedInsts++
+		}
+	}
+}
+
+// trainPredictors records a violation with whichever dependence
+// predictor the active policy uses.
+func (p *Pipeline) trainPredictors(loadPC, storePC uint32) {
+	switch p.cfg.Policy {
+	case config.Selective:
+		p.sel.RecordViolation(loadPC, p.cycle)
+	case config.StoreBarrier:
+		p.sbar.RecordViolation(storePC, p.cycle)
+	case config.Sync:
+		p.mdpt.RecordViolation(loadPC, storePC, p.cycle)
+	case config.StoreSets:
+		p.ssets.RecordViolation(loadPC, storePC, p.cycle)
+	}
+}
+
+// resetForReexecution rewinds one in-flight instruction so it issues
+// again with corrected inputs. It reports whether the entry actually
+// had produced (possibly wrong) state worth invalidating.
+func (p *Pipeline) resetForReexecution(e *robEntry) bool {
+	d := &e.di
+	switch {
+	case d.IsLoad():
+		if !e.agenIssued && !e.memIssued {
+			return false // never produced anything wrong
+		}
+		if e.memIssued {
+			p.removeAddrMap(p.loadsByAddr, d.Addr, d.Seq)
+		}
+		// If the base register value was wrong the address regenerates;
+		// the memory phase always redoes.
+		e.agenIssued = false
+		e.addrReady = notYet
+		e.memIssued = false
+		e.memDone = notYet
+		e.doneCycle = notYet
+		e.memIssue = 0
+		e.valueSource = noSeq
+		e.propagated = false
+		e.fdCounted, e.fdFalse = false, false
+		e.couldIssue = notYet
+		e.state = stWaiting
+		return true
+	case d.IsStore():
+		if !e.agenIssued && !e.memIssued && e.state == stWaiting {
+			return false
+		}
+		if e.completed || p.storePosted(e) {
+			p.removeAddrMap(p.storesByAddr, d.Addr, d.Seq)
+		}
+		if e.completed {
+			// It left the pending sets at completion; make it pending
+			// again (stores still in compQ were never removed).
+			insertSorted(&p.pendingStores, d.Seq)
+			if e.barrier {
+				insertSorted(&p.pendingBarriers, d.Seq)
+			}
+			e.completed = false
+		}
+		if p.cfg.UseAddressScheduler && e.agenIssued {
+			insertSorted(&p.unpostedStores, d.Seq)
+		}
+		e.agenIssued = false
+		e.addrReady = notYet
+		e.addrPosted = notYet
+		e.memIssued = false
+		e.memDone = notYet
+		e.doneCycle = notYet
+		e.state = stWaiting
+		return true
+	default:
+		if e.state == stWaiting {
+			return false
+		}
+		e.state = stWaiting
+		e.doneCycle = notYet
+		return true
+	}
+}
+
+// storePosted reports whether an AS store's address has been published.
+func (p *Pipeline) storePosted(e *robEntry) bool {
+	return p.cfg.UseAddressScheduler && e.agenIssued && p.cycle >= e.addrPosted
+}
+
+// squashFrom performs squash invalidation: the misspeculated load and
+// every younger instruction are thrown away, fetch rewinds to the load,
+// and the active dependence predictor is trained with the violation.
+func (p *Pipeline) squashFrom(load, st *robEntry) {
+	loadSeq := load.di.Seq
+	loadPC, storePC := load.di.PC, st.di.PC
+	p.res.Misspeculations++
+	p.squashes++
+	p.trainPredictors(loadPC, storePC)
+
+	// Invalidate every in-flight instruction at or after the load.
+	for seq := loadSeq; seq < p.dispatchSeq; seq++ {
+		e := p.slot(seq)
+		if !e.valid || e.di.Seq != seq {
+			continue
+		}
+		p.res.SquashedInsts++
+		d := &e.di
+		if d.Inst.Op.IsMem() {
+			p.memInFlight--
+		}
+		switch {
+		case d.IsStore():
+			removeSorted(&p.pendingStores, seq)
+			removeSorted(&p.unpostedStores, seq)
+			if e.barrier {
+				removeSorted(&p.pendingBarriers, seq)
+			}
+			p.removeAddrMap(p.storesByAddr, d.Addr, seq)
+		case d.IsLoad():
+			if e.memIssued {
+				p.removeAddrMap(p.loadsByAddr, d.Addr, seq)
+			}
+		}
+		e.valid = false
+	}
+
+	// Drop squashed front-end instructions and rewind fetch.
+	keep := p.fetchQ[:0]
+	for _, rec := range p.fetchQ {
+		if rec.seq < loadSeq {
+			keep = append(keep, rec)
+		}
+	}
+	p.fetchQ = keep
+
+	resume := p.cycle + int64(p.cfg.SquashOverhead)
+	if p.cfg.SplitWindow {
+		units := p.cfg.SplitUnits
+		taskSize := int64(p.cfg.Window / units)
+		t0 := loadSeq / taskSize
+		u0 := int(t0 % int64(units))
+		for u := 0; u < units; u++ {
+			// The first sequence >= loadSeq belonging to unit u.
+			var cand int64
+			if u == u0 {
+				cand = loadSeq
+			} else {
+				dt := int64((u - u0 + units) % units)
+				cand = (t0 + dt) * taskSize
+			}
+			if p.unitFetchSeq[u] == noSeq || p.unitFetchSeq[u] > cand {
+				p.unitFetchSeq[u] = cand
+			}
+			if p.unitBlockedOn[u] >= loadSeq {
+				p.unitBlockedOn[u] = noSeq
+			}
+			p.unitResumeAt[u] = max64(p.unitResumeAt[u], resume)
+			p.unitHaveBlock[u] = false
+		}
+	} else {
+		p.dispatchSeq = loadSeq
+		p.fetchSeq = loadSeq
+		p.blockedOnBranch = noSeq
+		p.fetchResumeAt = max64(p.fetchResumeAt, resume)
+		p.haveFetchBlock = false
+	}
+}
+
+// removeAddrMap removes seq from the per-address list, deleting the
+// entry when it empties.
+func (p *Pipeline) removeAddrMap(m map[uint32][]int64, addr uint32, seq int64) {
+	lst, ok := m[addr]
+	if !ok {
+		return
+	}
+	removeSorted(&lst, seq)
+	if len(lst) == 0 {
+		delete(m, addr)
+	} else {
+		m[addr] = lst
+	}
+}

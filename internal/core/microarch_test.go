@@ -1,0 +1,271 @@
+package core
+
+import (
+	"testing"
+
+	"mdspec/internal/config"
+	"mdspec/internal/emu"
+	"mdspec/internal/isa"
+	"mdspec/internal/prog"
+)
+
+// runCycles simulates p to completion and returns total cycles.
+func runCycles(t *testing.T, p *prog.Program, cfg config.Machine) int64 {
+	t.Helper()
+	pl, err := New(cfg, emu.NewTrace(emu.New(p)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := pl.Run(1 << 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Cycles
+}
+
+func perfect(cfg config.Machine) config.Machine {
+	cfg.PerfectCaches = true
+	return cfg
+}
+
+func TestDivideLatencyOnCriticalPath(t *testing.T) {
+	// A serial chain of n divides must cost ~12 cycles each; the same
+	// chain of adds ~1 cycle each.
+	chain := func(op func(b *prog.Builder)) *prog.Program {
+		b := prog.NewBuilder()
+		b.Li(isa.R1, 7)
+		b.Li(isa.R2, 3)
+		for i := 0; i < 200; i++ {
+			op(b)
+		}
+		b.Halt()
+		return b.MustProgram()
+	}
+	divs := chain(func(b *prog.Builder) {
+		b.Div(isa.R1, isa.R2)
+		b.Mflo(isa.R1) // serialize through LO
+	})
+	adds := chain(func(b *prog.Builder) {
+		b.Add(isa.R1, isa.R1, isa.R2)
+		b.Add(isa.R1, isa.R1, isa.R2)
+	})
+	cfg := perfect(config.Default128())
+	cd := runCycles(t, divs, cfg)
+	ca := runCycles(t, adds, cfg)
+	// 200 * (12+1) vs 200 * 2 cycles of chain latency.
+	if cd < ca*4 {
+		t.Errorf("divide chain (%d cycles) should dwarf add chain (%d)", cd, ca)
+	}
+}
+
+func TestFPLatencyClasses(t *testing.T) {
+	chain := func(op isa.Op) *prog.Program {
+		b := prog.NewBuilder()
+		b.Li(isa.R1, 3)
+		b.Mtf(isa.F1, isa.R1)
+		b.Mtf(isa.F2, isa.R1)
+		for i := 0; i < 300; i++ {
+			b.Op3(op, isa.F1, isa.F1, isa.F2)
+		}
+		b.Halt()
+		return b.MustProgram()
+	}
+	cfg := perfect(config.Default128())
+	add := runCycles(t, chain(isa.FADD), cfg)   // 2-cycle class
+	muld := runCycles(t, chain(isa.FMULD), cfg) // 5-cycle class
+	divd := runCycles(t, chain(isa.FDIVD), cfg) // 15-cycle class
+	if muld < add*2 {
+		t.Errorf("fmul.d chain (%d) should be ~2.5x fadd chain (%d)", muld, add)
+	}
+	if divd < muld*2 {
+		t.Errorf("fdiv.d chain (%d) should be ~3x fmul.d chain (%d)", divd, muld)
+	}
+}
+
+func TestIssueWidthBindsIndependentWork(t *testing.T) {
+	// 4000 independent adds: an 8-wide machine should need roughly half
+	// the cycles of a 2-wide one.
+	b := prog.NewBuilder()
+	regs := []isa.Reg{isa.R1, isa.R2, isa.R3, isa.R4, isa.R5, isa.R6, isa.R7, isa.R8}
+	for i := 0; i < 4000; i++ {
+		r := regs[i%len(regs)]
+		b.Addi(r, r, 1)
+	}
+	b.Halt()
+	p := b.MustProgram()
+	wide := perfect(config.Default128())
+	narrow := wide
+	narrow.IssueWidth = 2
+	narrow.FetchWidth = 2
+	narrow.CommitWidth = 2
+	cw := runCycles(t, p, wide)
+	cn := runCycles(t, p, narrow)
+	if cn < cw*2 {
+		t.Errorf("2-wide (%d cycles) should be >= 2x slower than 8-wide (%d)", cn, cw)
+	}
+}
+
+func TestFUContentionMulDiv(t *testing.T) {
+	// Independent multiplies: with a single mul/div unit they issue one
+	// per cycle; with 8 units, up to the issue width.
+	b := prog.NewBuilder()
+	b.Li(isa.R1, 3)
+	b.Li(isa.R2, 5)
+	for i := 0; i < 1000; i++ {
+		b.Mult(isa.R1, isa.R2) // independent: result unread
+	}
+	b.Halt()
+	p := b.MustProgram()
+	many := perfect(config.Default128())
+	one := many
+	one.IntMulDivs = 1
+	cm := runCycles(t, p, many)
+	co := runCycles(t, p, one)
+	if co < cm*3 {
+		t.Errorf("1 mul unit (%d cycles) should be much slower than 8 (%d)", co, cm)
+	}
+}
+
+func TestMemPortContention(t *testing.T) {
+	// Independent loads: 4 ports vs 1 port.
+	b := prog.NewBuilder()
+	arr := b.Alloc(1024)
+	b.Li(isa.R1, int64(arr))
+	regs := []isa.Reg{isa.R2, isa.R3, isa.R4, isa.R5}
+	for i := 0; i < 1200; i++ {
+		b.Lw(regs[i%4], isa.R1, int64((i%64)*prog.WordBytes))
+	}
+	b.Halt()
+	p := b.MustProgram()
+	four := perfect(config.Default128())
+	oneP := four
+	oneP.MemPorts = 1
+	c4 := runCycles(t, p, four)
+	c1 := runCycles(t, p, oneP)
+	if c1 < c4*2 {
+		t.Errorf("1 memory port (%d cycles) should be much slower than 4 (%d)", c1, c4)
+	}
+}
+
+func TestWindowSizeBindsLatencyTolerance(t *testing.T) {
+	// Long-latency independent loads (cache misses): a big window
+	// overlaps more of them.
+	b := prog.NewBuilder()
+	arr := b.Alloc(1 << 18)
+	b.Li(isa.R1, int64(arr))
+	b.Li(isa.R5, 400)
+	b.Label("loop")
+	b.Lw(isa.R2, isa.R1, 0)
+	b.Lw(isa.R3, isa.R1, 4096)
+	b.Lw(isa.R4, isa.R1, 8192)
+	b.Addi(isa.R1, isa.R1, 64)
+	b.Addi(isa.R5, isa.R5, -1)
+	b.Bne(isa.R5, isa.R0, "loop")
+	b.Halt()
+	p := b.MustProgram()
+	big := config.Default128().WithPolicy(config.Oracle)
+	small := big
+	small.Window = 16
+	cb := runCycles(t, p, big)
+	cs := runCycles(t, p, small)
+	if cs <= cb {
+		t.Errorf("16-entry window (%d cycles) should lose to 128-entry (%d) on miss-heavy code", cs, cb)
+	}
+}
+
+func TestMispredictionStallsFetch(t *testing.T) {
+	// A data-dependent branch (effectively random) costs many cycles
+	// per iteration versus a perfectly-predictable one.
+	mk := func(noisy bool) *prog.Program {
+		b := prog.NewBuilder()
+		arr := b.Alloc(4096)
+		// Fill with a pattern that defeats the predictor when used.
+		r := uint64(12345)
+		for i := 0; i < 4096; i++ {
+			r ^= r << 13
+			r ^= r >> 7
+			r ^= r << 17
+			b.SetData(arr+uint32(i*prog.WordBytes), int64(r%2))
+		}
+		b.Li(isa.R1, int64(arr))
+		b.Li(isa.R5, 2000)
+		b.Label("loop")
+		b.Lw(isa.R2, isa.R1, 0)
+		b.Addi(isa.R1, isa.R1, prog.WordBytes)
+		if noisy {
+			b.Bne(isa.R2, isa.R0, "skip") // random direction
+		} else {
+			b.Bne(isa.R0, isa.R0, "skip") // never taken
+		}
+		b.Addi(isa.R3, isa.R3, 1)
+		b.Label("skip")
+		b.Addi(isa.R5, isa.R5, -1)
+		b.Bne(isa.R5, isa.R0, "loop")
+		b.Halt()
+		return b.MustProgram()
+	}
+	cfg := perfect(config.Default128().WithPolicy(config.Oracle))
+	noisy := runCycles(t, mk(true), cfg)
+	calm := runCycles(t, mk(false), cfg)
+	if noisy < calm*2 {
+		t.Errorf("random branches (%d cycles) should be much slower than predictable (%d)", noisy, calm)
+	}
+}
+
+func TestStallBreakdownSumsToCycles(t *testing.T) {
+	pl, err := New(config.Default128().WithPolicy(config.NoSpec),
+		emu.NewTrace(emu.New(slowStoreFastLoad(500))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := pl.Run(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalls := r.StallEmpty + r.StallMem + r.StallExec
+	if stalls > r.Cycles {
+		t.Fatalf("stall cycles %d exceed total %d", stalls, r.Cycles)
+	}
+	if r.StallMem == 0 {
+		t.Error("a store-bound kernel should show memory stalls at the head")
+	}
+	e, m, x := r.StallBreakdown()
+	if e < 0 || m < 0 || x < 0 || e+m+x > 1.0000001 {
+		t.Errorf("breakdown out of range: %v %v %v", e, m, x)
+	}
+}
+
+func TestLSQSizeBindsMemoryParallelism(t *testing.T) {
+	// Miss-heavy independent loads: a 4-entry LSQ strangles memory-level
+	// parallelism relative to the full-window LSQ.
+	b := prog.NewBuilder()
+	arr := b.Alloc(1 << 18)
+	b.Li(isa.R1, int64(arr))
+	b.Li(isa.R5, 300)
+	b.Label("loop")
+	b.Lw(isa.R2, isa.R1, 0)
+	b.Lw(isa.R3, isa.R1, 4096)
+	b.Lw(isa.R4, isa.R1, 8192)
+	b.Lw(isa.R6, isa.R1, 12288)
+	b.Addi(isa.R1, isa.R1, 64)
+	b.Addi(isa.R5, isa.R5, -1)
+	b.Bne(isa.R5, isa.R0, "loop")
+	b.Halt()
+	p := b.MustProgram()
+	full := config.Default128().WithPolicy(config.Oracle)
+	tiny := full
+	tiny.LSQSize = 4
+	cf := runCycles(t, p, full)
+	ct := runCycles(t, p, tiny)
+	if ct <= cf {
+		t.Errorf("4-entry LSQ (%d cycles) should lose to the full LSQ (%d)", ct, cf)
+	}
+}
+
+func TestLSQValidation(t *testing.T) {
+	bad := config.Default128()
+	bad.LSQSize = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative LSQ size should be rejected")
+	}
+}

@@ -1,0 +1,296 @@
+// Package core implements the cycle-level, execution-driven timing model
+// of the paper's centralized, continuous-window superscalar processor
+// (Table 2), including every load/store execution policy studied in §3:
+//
+//	NAS/NO, NAS/NAV, NAS/SEL, NAS/STORE, NAS/SYNC, NAS/ORACLE
+//	AS/NO,  AS/NAV (with configurable address-scheduler latency)
+//
+// and, for §3.7, the distributed split-window variant in which fetch
+// proceeds independently per unit and issue does not use global program
+// order priority.
+//
+// The pipeline consumes the correct-path dynamic instruction stream from
+// an emu.Trace. Branch mispredictions stall fetch until the branch
+// resolves (no wrong-path execution); memory-order violations squash the
+// offending load and everything younger and rewind fetch (squash
+// invalidation).
+package core
+
+import (
+	"fmt"
+
+	"mdspec/internal/bpred"
+	"mdspec/internal/cache"
+	"mdspec/internal/config"
+	"mdspec/internal/emu"
+	"mdspec/internal/mdp"
+	"mdspec/internal/stats"
+)
+
+// entryState tracks an instruction's progress through the window.
+type entryState uint8
+
+const (
+	// stWaiting: dispatched, operands not all ready / not yet issued.
+	stWaiting entryState = iota
+	// stIssued: executing; result at doneCycle.
+	stIssued
+	// stDone: result available.
+	stDone
+)
+
+// noSeq marks "no sequence number".
+const noSeq int64 = -1
+
+// robEntry is one in-flight instruction (an RUU entry).
+type robEntry struct {
+	di    emu.DynInst // copied from the trace (stable across compaction)
+	state entryState
+
+	issueCycle int64
+	doneCycle  int64
+
+	// Register dependences: sequence numbers of producing instructions,
+	// or noSeq when the operand comes from the register file.
+	dep1, dep2 int64
+
+	// Memory-operation bookkeeping.
+	agenIssued bool  // address-generation uop has issued
+	addrReady  int64 // cycle the effective address is available (else notYet)
+	addrPosted int64 // AS: cycle the address is visible to the scheduler
+	memIssued  bool  // load: memory access launched; store: executed into buffer
+	memIssue   int64 // cycle the memory uop issued
+	memDone    int64 // load: data available; store: buffer entry valid
+
+	// Load speculation tracking.
+	valueSource int64 // seq of the store the load's value came from (noSeq = memory)
+	specValue   int64 // the value the load actually obtained
+	propagated  bool  // a dependent instruction has consumed the load's value
+
+	// Policy annotations (set at dispatch).
+	waitAll    bool   // SEL: predicted dependent, wait for all prior stores
+	barrier    bool   // STORE: this store is a predicted barrier
+	hasSyn     bool   // SYNC/SSET: synchronize via synonym
+	synonym    uint32 // the synonym / store-set ID
+	syncOnSeq  int64  // load: closest preceding producer store to wait for (noSeq = none)
+	storeIsSyn bool   // store: marked as a synonym producer
+
+	// Branch bookkeeping.
+	bpHist   uint32
+	bpPred   bool // predicted direction
+	bpWrong  bool // misprediction (direction or target)
+	bpIsCond bool
+
+	// False-dependence accounting (NO policies).
+	couldIssue int64 // cycle the load could otherwise have accessed memory
+	fdCounted  bool
+	fdFalse    bool
+
+	// completed marks a store whose completion event has been processed
+	// (it left the pending sets and entered the disambiguation tables).
+	completed bool
+
+	// valid marks the slot as occupied by this entry (split-window mode
+	// dispatches out of order, leaving holes).
+	valid bool
+}
+
+const notYet int64 = 1 << 62
+
+// fetchRec is an instruction moving through the front end.
+type fetchRec struct {
+	seq      int64
+	ready    int64 // dispatchable at this cycle
+	bpHist   uint32
+	bpPred   bool
+	bpWrong  bool
+	bpIsCond bool
+	wrongPC  uint32 // predicted (wrong) next PC, for wrong-path fetch
+	unit     int    // split-window fetch unit
+}
+
+// Pipeline is one configured simulation instance.
+type Pipeline struct {
+	cfg   config.Machine
+	trace *emu.Trace
+	hier  *cache.Hierarchy
+	bp    *bpred.Predictor
+
+	sel   *mdp.Selective
+	sbar  *mdp.StoreBarrier
+	mdpt  *mdp.MDPT
+	ssets *mdp.StoreSets
+
+	cycle int64
+	rob   []robEntry
+
+	headSeq     int64 // oldest in-flight (next to commit)
+	dispatchSeq int64 // next sequence number to dispatch
+	fetchSeq    int64 // next sequence number to fetch
+	traceEnded  bool  // the program's end has been observed
+	traceLen    int64 // exact dynamic length, valid once traceEnded
+
+	fetchQ []fetchRec
+
+	// Fetch stall state.
+	blockedOnBranch int64 // seq of unresolved mispredicted branch (noSeq = none)
+	fetchResumeAt   int64 // earliest cycle fetch may proceed
+	lastFetchBlock  uint32
+	haveFetchBlock  bool
+
+	// Wrong-path fetch state (cfg.WrongPathFetch): while blocked on a
+	// mispredicted branch, the front end streams I-cache accesses down
+	// the wrong path.
+	wrongPathPC     uint32
+	wrongPathBlocks int
+
+	// Split-window state (cfg.SplitWindow).
+	unitFetchSeq   []int64 // per-unit next fetch seq
+	unitBlockedOn  []int64 // per-unit unresolved mispredicted branch
+	unitResumeAt   []int64
+	unitFetchBlock []uint32
+	unitHaveBlock  []bool
+	issueRotate    int
+
+	// Ordered (ascending seq) lists of in-window stores in various states.
+	pendingStores   []int64 // dispatched, not yet executed
+	unpostedStores  []int64 // AS: dispatched, address not yet posted
+	pendingBarriers []int64 // STORE: predicted barrier stores not yet executed
+
+	// storesByAddr: in-window stores whose address is known to the
+	// hardware (NAS: executed; AS: posted), keyed by word address.
+	// loadsByAddr: in-window loads that have performed their access.
+	storesByAddr map[uint32][]int64
+	loadsByAddr  map[uint32][]int64
+
+	// postQ holds stores whose addresses are travelling to the address
+	// scheduler; compQ holds stores whose execution is completing.
+	postQ []int64
+	compQ []int64
+
+	// memInFlight counts dispatched, uncommitted loads and stores (the
+	// LSQ occupancy).
+	memInFlight int
+
+	// Per-cycle resource pools (reset each cycle).
+	issueLeft, aluLeft, mulLeft, fpLeft, portLeft int
+
+	res stats.Run
+
+	// draining pauses fetch so the window can empty (sampling).
+	draining bool
+
+	// maxSquashDepth guards against pathological livelock (debugging).
+	squashes int64
+}
+
+// New builds a pipeline over the given dynamic instruction trace.
+func New(cfg config.Machine, trace *emu.Trace) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := cache.Table2()
+	if cfg.PerfectCaches {
+		h = cache.Perfect()
+	}
+	bpCfg := bpred.Default()
+	bpCfg.Kind = cfg.BranchPredictor
+	p := &Pipeline{
+		cfg:             cfg,
+		trace:           trace,
+		hier:            h,
+		bp:              bpred.New(bpCfg),
+		rob:             make([]robEntry, cfg.Window),
+		blockedOnBranch: noSeq,
+		storesByAddr:    make(map[uint32][]int64),
+		loadsByAddr:     make(map[uint32][]int64),
+	}
+	switch cfg.Policy {
+	case config.Selective:
+		p.sel = mdp.NewSelective(cfg.PredictorTable)
+	case config.StoreBarrier:
+		p.sbar = mdp.NewStoreBarrier(cfg.PredictorTable)
+	case config.Sync:
+		p.mdpt = mdp.NewMDPT(cfg.PredictorTable)
+	case config.StoreSets:
+		p.ssets = mdp.NewStoreSets(cfg.PredictorTable)
+	}
+	if cfg.SplitWindow {
+		u := cfg.SplitUnits
+		p.unitFetchSeq = make([]int64, u)
+		p.unitBlockedOn = make([]int64, u)
+		p.unitResumeAt = make([]int64, u)
+		p.unitFetchBlock = make([]uint32, u)
+		p.unitHaveBlock = make([]bool, u)
+		for i := 0; i < u; i++ {
+			p.unitBlockedOn[i] = noSeq
+			p.unitFetchSeq[i] = noSeq
+		}
+	}
+	p.res.Config = cfg.Name()
+	return p, nil
+}
+
+// Hierarchy exposes the memory system (for inspection in tests/examples).
+func (p *Pipeline) Hierarchy() *cache.Hierarchy { return p.hier }
+
+func (p *Pipeline) slot(seq int64) *robEntry {
+	return &p.rob[seq%int64(p.cfg.Window)]
+}
+
+// windowHas reports whether seq is currently dispatched and in-flight.
+func (p *Pipeline) windowHas(seq int64) bool {
+	if seq < p.headSeq || seq >= p.dispatchSeq {
+		return false
+	}
+	e := p.slot(seq)
+	return e.valid && e.di.Seq == seq
+}
+
+// Run simulates until maxInsts instructions have committed (or the trace
+// ends) and returns the collected statistics.
+func (p *Pipeline) Run(maxInsts int64) (*stats.Run, error) {
+	if p.cycle != 0 || p.res.Committed != 0 {
+		return nil, fmt.Errorf("core: Run called twice on one Pipeline")
+	}
+	maxCycles := maxInsts*200 + 100_000 // livelock guard (IPC < 0.005 means a bug)
+	for p.res.Committed < maxInsts {
+		if p.traceEnded && p.headSeq >= p.traceLen {
+			break // every instruction has committed
+		}
+		p.step()
+		if p.cycle > maxCycles {
+			return nil, fmt.Errorf("core: no forward progress after %d cycles (committed %d/%d, config %s)",
+				p.cycle, p.res.Committed, maxInsts, p.cfg.Name())
+		}
+	}
+	p.res.Cycles = p.cycle
+	p.res.DCacheAccesses = p.hier.D.Stats.Accesses
+	p.res.DCacheMisses = p.hier.D.Stats.Misses
+	p.res.ICacheAccesses = p.hier.I.Stats.Accesses
+	p.res.ICacheMisses = p.hier.I.Stats.Misses
+	return &p.res, nil
+}
+
+// step advances the machine by one cycle.
+func (p *Pipeline) step() {
+	// Reset per-cycle resource pools.
+	p.issueLeft = p.cfg.IssueWidth
+	p.aluLeft = p.cfg.IntALUs
+	p.mulLeft = p.cfg.IntMulDivs
+	p.fpLeft = p.cfg.FPUnits
+	p.portLeft = p.cfg.MemPorts
+
+	// Stages are processed commit-first so that results produced this
+	// cycle are consumed no earlier than the next cycle.
+	p.processStoreEvents()
+	p.commit()
+	p.issue()
+	p.dispatch()
+	if p.cfg.SplitWindow {
+		p.fetchSplit()
+	} else {
+		p.fetch()
+	}
+	p.cycle++
+}

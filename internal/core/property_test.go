@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+
+	"mdspec/internal/config"
+	"mdspec/internal/emu"
+	"mdspec/internal/isa"
+	"mdspec/internal/prog"
+	"mdspec/internal/workload"
+)
+
+// randProgram builds a random but always-terminating program: straight
+// line blocks of random ALU/memory instructions with forward branches,
+// wrapped in one bounded counted loop. Register and address usage is
+// constrained to stay valid; the dynamic length is bounded by
+// construction.
+func randProgram(seed uint64) *prog.Program {
+	rng := seed
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	b := prog.NewBuilder()
+	arena := b.AllocAligned(512, 4096)
+	b.Li(isa.R1, int64(arena))
+	b.Li(isa.R9, int64(10+next(20))) // loop count
+	regs := []isa.Reg{isa.R2, isa.R3, isa.R4, isa.R5, isa.R6, isa.R7}
+	b.Label("top")
+	blocks := 2 + next(4)
+	for blk := 0; blk < blocks; blk++ {
+		n := 3 + next(10)
+		for i := 0; i < n; i++ {
+			d := regs[next(len(regs))]
+			a := regs[next(len(regs))]
+			c := regs[next(len(regs))]
+			switch next(8) {
+			case 0:
+				b.Lw(d, isa.R1, int64(next(64)*prog.WordBytes))
+			case 1:
+				b.Sw(a, isa.R1, int64(next(64)*prog.WordBytes))
+			case 2:
+				b.Add(d, a, c)
+			case 3:
+				b.Addi(d, a, int64(next(32)-16))
+			case 4:
+				b.Xor(d, a, c)
+			case 5:
+				b.Mult(a, c)
+			case 6:
+				b.Mflo(d)
+			default:
+				b.Slt(d, a, c)
+			}
+		}
+		// Forward branch over a couple of instructions.
+		lbl := b.PC() // unique-enough label name from the PC
+		name := labelName(int(lbl), blk)
+		b.Beq(regs[next(len(regs))], regs[next(len(regs))], name)
+		b.Addi(regs[next(len(regs))], regs[next(len(regs))], 1)
+		b.Nop()
+		b.Label(name)
+	}
+	b.Addi(isa.R9, isa.R9, -1)
+	b.Bne(isa.R9, isa.R0, "top")
+	b.Halt()
+	return b.MustProgram()
+}
+
+func labelName(pc, blk int) string {
+	return "fwd_" + string(rune('a'+blk%26)) + "_" + itoa(pc)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// dynLen runs the program functionally and returns its dynamic length.
+func dynLen(p *prog.Program) int64 {
+	m := emu.New(p)
+	var d emu.DynInst
+	var n int64
+	for m.Step(&d) {
+		n++
+	}
+	return n
+}
+
+// TestRandomProgramsCommitExactly is the central differential property:
+// for random programs, every policy must commit exactly the dynamic
+// instruction count the functional emulator produces — no lost, dropped,
+// duplicated or phantom instructions, no deadlock — on both the
+// continuous and the split window, with and without the address
+// scheduler.
+func TestRandomProgramsCommitExactly(t *testing.T) {
+	cfgs := []config.Machine{
+		config.Default128().WithPolicy(config.NoSpec),
+		config.Default128().WithPolicy(config.Naive),
+		config.Default128().WithPolicy(config.Selective),
+		config.Default128().WithPolicy(config.StoreBarrier),
+		config.Default128().WithPolicy(config.Sync),
+		config.Default128().WithPolicy(config.Oracle),
+		config.Default128().WithPolicy(config.StoreSets),
+		config.Default128().WithPolicy(config.NoSpec).WithAddressScheduler(1),
+		config.Default128().WithPolicy(config.Naive).WithAddressScheduler(2),
+		config.Small64().WithPolicy(config.Naive),
+		config.Default128().WithPolicy(config.Naive).WithSplitWindow(4),
+		config.Default128().WithPolicy(config.Sync).WithSplitWindow(2),
+	}
+	for seed := uint64(1); seed <= 25; seed++ {
+		p := randProgram(seed * 7919)
+		want := dynLen(p)
+		for _, cfg := range cfgs {
+			pl, err := New(cfg, emu.NewTrace(emu.New(p)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := pl.Run(1 << 22)
+			if err != nil {
+				t.Fatalf("seed %d, %s: %v", seed, cfg.Name(), err)
+			}
+			if r.Committed != want {
+				t.Fatalf("seed %d, %s: committed %d, want %d", seed, cfg.Name(), r.Committed, want)
+			}
+		}
+	}
+}
+
+// TestPolicyOrderingInvariants checks the partial order the paper's
+// arguments rely on, across several real workloads: ORACLE is an upper
+// bound among NAS policies, and NO/ORACLE never misspeculate.
+func TestPolicyOrderingInvariants(t *testing.T) {
+	for _, bench := range []string{"129.compress", "134.perl", "104.hydro2d"} {
+		p := workload.MustBuild(bench)
+		ipc := map[config.Policy]float64{}
+		for _, pol := range []config.Policy{config.NoSpec, config.Naive, config.Sync, config.Oracle} {
+			pl, err := New(config.Default128().WithPolicy(pol), emu.NewTrace(emu.New(p)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := pl.Run(40_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ipc[pol] = r.IPC()
+			switch pol {
+			case config.NoSpec, config.Oracle:
+				if r.Misspeculations != 0 {
+					t.Errorf("%s/%v misspeculated", bench, pol)
+				}
+			}
+		}
+		const slack = 0.02 // measurement noise tolerance
+		if ipc[config.Oracle] < ipc[config.NoSpec]-slack {
+			t.Errorf("%s: ORACLE (%.3f) below NO (%.3f)", bench, ipc[config.Oracle], ipc[config.NoSpec])
+		}
+		if ipc[config.Oracle] < ipc[config.Naive]-slack {
+			t.Errorf("%s: ORACLE (%.3f) below NAV (%.3f)", bench, ipc[config.Oracle], ipc[config.Naive])
+		}
+		if ipc[config.Oracle] < ipc[config.Sync]-slack {
+			t.Errorf("%s: ORACLE (%.3f) below SYNC (%.3f)", bench, ipc[config.Oracle], ipc[config.Sync])
+		}
+	}
+}

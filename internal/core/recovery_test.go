@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"mdspec/internal/config"
+	"mdspec/internal/emu"
+	"mdspec/internal/workload"
+)
+
+func TestSelectiveInvalidationCompletesExactly(t *testing.T) {
+	// The differential property must hold for selective invalidation
+	// too: exact commit counts on random programs.
+	cfgs := []config.Machine{
+		config.Default128().WithPolicy(config.Naive).WithRecovery(config.RecoverySelective),
+		config.Default128().WithPolicy(config.Sync).WithRecovery(config.RecoverySelective),
+		config.Small64().WithPolicy(config.Naive).WithRecovery(config.RecoverySelective),
+	}
+	for seed := uint64(1); seed <= 15; seed++ {
+		p := randProgram(seed * 104729)
+		want := dynLen(p)
+		for _, cfg := range cfgs {
+			pl, err := New(cfg, emu.NewTrace(emu.New(p)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := pl.Run(1 << 22)
+			if err != nil {
+				t.Fatalf("seed %d, %s: %v", seed, cfg.Name(), err)
+			}
+			if r.Committed != want {
+				t.Fatalf("seed %d, %s: committed %d, want %d", seed, cfg.Name(), r.Committed, want)
+			}
+		}
+	}
+}
+
+func TestSelectiveInvalidationLosesLessWork(t *testing.T) {
+	// §2: selective invalidation minimizes the work lost on
+	// misspeculation. On a heavily misspeculating workload it must
+	// discard far fewer instructions than squash invalidation and must
+	// not be slower.
+	p := workload.KernelRecurrence(0)
+	squash, err := New(config.Default128().WithPolicy(config.Naive), emu.NewTrace(emu.New(p)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := squash.Run(40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selective, err := New(config.Default128().WithPolicy(config.Naive).WithRecovery(config.RecoverySelective),
+		emu.NewTrace(emu.New(p)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := selective.Run(40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sq.Misspeculations == 0 || sel.Misspeculations == 0 {
+		t.Fatal("test needs a misspeculating workload")
+	}
+	perSquash := float64(sq.SquashedInsts) / float64(sq.Misspeculations)
+	perSel := float64(sel.SquashedInsts) / float64(sel.Misspeculations)
+	if perSel >= perSquash {
+		t.Errorf("selective invalidation redoes %.1f insts/violation, squash %.1f — should be far less",
+			perSel, perSquash)
+	}
+	if sel.IPC() < sq.IPC() {
+		t.Errorf("selective invalidation IPC %.3f below squash %.3f", sel.IPC(), sq.IPC())
+	}
+}
+
+func TestSelectiveInvalidationOnSuite(t *testing.T) {
+	// Works on a real workload without deadlock, and trains SYNC as usual.
+	p := workload.MustBuild("129.compress")
+	pl, err := New(config.Default128().WithPolicy(config.Sync).WithRecovery(config.RecoverySelective),
+		emu.NewTrace(emu.New(p)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := pl.Run(40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Committed < 40_000 {
+		t.Fatalf("committed %d", r.Committed)
+	}
+	if r.MisspecRate() > 0.02 {
+		t.Errorf("SYNC should still learn under selective invalidation (misspec %.4f)", r.MisspecRate())
+	}
+}
+
+func TestSelectiveInvalidationRejectedWithAS(t *testing.T) {
+	cfg := config.Default128().WithPolicy(config.Naive).
+		WithAddressScheduler(0).WithRecovery(config.RecoverySelective)
+	if _, err := New(cfg, emu.NewTrace(emu.New(workload.KernelStream(10)))); err == nil {
+		t.Fatal("AS + selective invalidation should be rejected")
+	}
+}
+
+func TestRecoveryNames(t *testing.T) {
+	cfg := config.Default128().WithPolicy(config.Naive).WithRecovery(config.RecoverySelective)
+	if got := cfg.Name(); got != "NAS/NAV/selinv" {
+		t.Errorf("Name() = %q", got)
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"mdspec/internal/stats"
+)
+
+// RunSampled simulates with the paper's sampling methodology (§3.1):
+// timing windows of timingInsts committed instructions alternate with
+// functional-only windows of functionalInsts instructions during which
+// the caches and the branch predictor stay warm but no cycles are
+// charged. It stops once totalTiming instructions have committed in
+// timing mode (or the trace ends). A 1:2 "timing:functional" ratio from
+// the paper's Table 1 corresponds to functionalInsts = 2*timingInsts.
+func (p *Pipeline) RunSampled(totalTiming, timingInsts, functionalInsts int64) (*stats.Run, error) {
+	if p.cfg.SplitWindow {
+		return nil, fmt.Errorf("core: sampling is not supported with a split window")
+	}
+	if timingInsts <= 0 || functionalInsts < 0 {
+		return nil, fmt.Errorf("core: invalid sampling windows %d:%d", timingInsts, functionalInsts)
+	}
+	if p.cycle != 0 || p.res.Committed != 0 {
+		return nil, fmt.Errorf("core: RunSampled called on a used Pipeline")
+	}
+	maxCycles := totalTiming*200 + 100_000
+	for p.res.Committed < totalTiming && !p.finished() {
+		target := p.res.Committed + timingInsts
+		if target > totalTiming {
+			target = totalTiming
+		}
+		// Timing window.
+		for p.res.Committed < target && !p.finished() {
+			p.step()
+			if p.cycle > maxCycles {
+				return nil, fmt.Errorf("core: no forward progress in sampled run (%s)", p.cfg.Name())
+			}
+		}
+		if p.res.Committed >= totalTiming || p.finished() {
+			break
+		}
+		// Drain the window so the machine is architecturally clean.
+		p.draining = true
+		for p.headSeq < p.dispatchSeq || len(p.fetchQ) > 0 {
+			p.step()
+			if p.cycle > maxCycles {
+				p.draining = false
+				return nil, fmt.Errorf("core: drain stalled in sampled run (%s)", p.cfg.Name())
+			}
+		}
+		p.draining = false
+		// Functional window: warm structures, charge no cycles.
+		p.skipFunctional(functionalInsts)
+	}
+	p.res.Cycles = p.cycle
+	p.res.DCacheAccesses = p.hier.D.Stats.Accesses
+	p.res.DCacheMisses = p.hier.D.Stats.Misses
+	p.res.ICacheAccesses = p.hier.I.Stats.Accesses
+	p.res.ICacheMisses = p.hier.I.Stats.Misses
+	return &p.res, nil
+}
+
+// finished reports whether every instruction of a finite program has
+// committed.
+func (p *Pipeline) finished() bool {
+	return p.traceEnded && p.headSeq >= p.traceLen
+}
+
+// skipFunctional advances n instructions functionally: branch predictor
+// and caches observe the stream (staying warm) but no pipeline timing is
+// modeled. The window must be empty.
+func (p *Pipeline) skipFunctional(n int64) {
+	var lastBlock uint32
+	haveBlock := false
+	for i := int64(0); i < n; i++ {
+		d := p.trace.At(p.fetchSeq)
+		if d == nil {
+			p.markTraceEnd()
+			break
+		}
+		if blk := d.PC >> iCacheBlockShift; !haveBlock || blk != lastBlock {
+			p.hier.I.Warm(d.PC, false)
+			lastBlock, haveBlock = blk, true
+		}
+		switch {
+		case d.IsLoad():
+			p.hier.D.Warm(d.Addr, false)
+		case d.IsStore():
+			p.hier.D.Warm(d.Addr, true)
+		case d.Inst.Op.IsCondBranch():
+			pred := p.bp.PredictDirection(d.PC)
+			hist := p.bp.History()
+			p.bp.SpeculateHistory(pred)
+			p.bp.Resolve(d.PC, hist, pred, d.Taken)
+		}
+		p.fetchSeq++
+		p.res.Skipped++
+	}
+	// Re-anchor the (empty) window after the skipped region.
+	p.headSeq = p.fetchSeq
+	p.dispatchSeq = p.fetchSeq
+	p.haveFetchBlock = false
+	p.blockedOnBranch = noSeq
+	if p.fetchResumeAt < p.cycle {
+		p.fetchResumeAt = p.cycle
+	}
+	p.trace.Release(p.headSeq)
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"mdspec/internal/config"
+	"mdspec/internal/emu"
+	"mdspec/internal/workload"
+)
+
+func TestSampledRunProgresses(t *testing.T) {
+	p := workload.MustBuild("129.compress")
+	pl, err := New(config.Default128().WithPolicy(config.Sync), emu.NewTrace(emu.New(p)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := pl.RunSampled(40_000, 5_000, 10_000) // the paper's 1:2 ratio
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Committed < 40_000 {
+		t.Fatalf("committed %d, want >= 40000", r.Committed)
+	}
+	if r.Skipped == 0 {
+		t.Fatal("sampled run should have skipped instructions functionally")
+	}
+	// 7 functional windows of 10k (one after each full timing window).
+	if r.Skipped < 50_000 || r.Skipped > 80_000 {
+		t.Errorf("skipped = %d, want about 70k", r.Skipped)
+	}
+	if r.IPC() <= 0 || r.IPC() > 8 {
+		t.Errorf("implausible sampled IPC %.3f", r.IPC())
+	}
+}
+
+func TestSampledCloseToFullTiming(t *testing.T) {
+	// The paper found sampling changes results by <= ~3%. Our workloads
+	// are phase-free, so sampled and full IPC should agree loosely.
+	p := workload.MustBuild("102.swim")
+	full, err := New(config.Default128().WithPolicy(config.Naive), emu.NewTrace(emu.New(p)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := full.Run(60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := New(config.Default128().WithPolicy(config.Naive), emu.NewTrace(emu.New(p)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := sampled.RunSampled(30_000, 10_000, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := sr.IPC() / fr.IPC()
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("sampled IPC %.3f vs full %.3f (ratio %.3f): sampling distorts too much",
+			sr.IPC(), fr.IPC(), ratio)
+	}
+}
+
+func TestSampledRejectsBadArgs(t *testing.T) {
+	p := workload.KernelStream(0)
+	pl, _ := New(config.Default128(), emu.NewTrace(emu.New(p)))
+	if _, err := pl.RunSampled(1000, 0, 10); err == nil {
+		t.Error("zero timing window should error")
+	}
+	pl2, _ := New(config.Default128().WithPolicy(config.Naive).WithSplitWindow(4), emu.NewTrace(emu.New(p)))
+	if _, err := pl2.RunSampled(1000, 100, 100); err == nil {
+		t.Error("split-window sampling should error")
+	}
+}
+
+func TestSampledFiniteProgramEnds(t *testing.T) {
+	p := workload.KernelRecurrence(500)
+	pl, _ := New(config.Default128().WithPolicy(config.Naive), emu.NewTrace(emu.New(p)))
+	r, err := pl.RunSampled(1<<20, 1_000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Committed+r.Skipped < 3000 {
+		t.Errorf("run should cover the whole program: committed %d + skipped %d", r.Committed, r.Skipped)
+	}
+}

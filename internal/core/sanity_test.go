@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"mdspec/internal/config"
+	"mdspec/internal/emu"
+	"mdspec/internal/workload"
+)
+
+func TestSanitySuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	run := func(name string, cfg config.Machine) float64 {
+		pl, err := New(cfg, emu.NewTrace(emu.New(workload.MustBuild(name))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := pl.Run(60_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-14s %-10s IPC=%.3f misspec=%.3f%% fd=%.1f%%/%.1fcyc bmiss=%.1f%% fwd=%d",
+			name, cfg.Name(), r.IPC(), 100*r.MisspecRate(), 100*r.FalseDepRate(), r.FalseDepLatency(), 100*r.BranchMissRate(), r.Forwards)
+		return r.IPC()
+	}
+	for _, name := range []string{"126.gcc", "129.compress", "102.swim", "107.mgrid"} {
+		base := config.Default128()
+		run(name, base.WithPolicy(config.NoSpec))
+		run(name, base.WithPolicy(config.Naive))
+		run(name, base.WithPolicy(config.Sync))
+		run(name, base.WithPolicy(config.Oracle))
+		run(name, base.WithPolicy(config.NoSpec).WithAddressScheduler(0))
+		run(name, base.WithPolicy(config.Naive).WithAddressScheduler(0))
+	}
+}

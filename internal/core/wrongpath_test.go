@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"mdspec/internal/config"
+	"mdspec/internal/emu"
+	"mdspec/internal/workload"
+)
+
+func TestWrongPathFetchPollutes(t *testing.T) {
+	// With wrong-path fetch enabled, branch-heavy codes must issue more
+	// I-cache accesses and must not get faster.
+	p := workload.MustBuild("099.go") // noisiest branches in the suite
+	base := config.Default128().WithPolicy(config.Naive)
+	wp := base
+	wp.WrongPathFetch = true
+
+	plain, err := New(base, emu.NewTrace(emu.New(p)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := plain.Run(40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polluted, err := New(wp, emu.NewTrace(emu.New(p)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := polluted.Run(40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ICacheAccesses <= r1.ICacheAccesses {
+		t.Errorf("wrong-path fetch should add I-cache traffic: %d vs %d",
+			r2.ICacheAccesses, r1.ICacheAccesses)
+	}
+	// Wrong-path fetch can act as pollution or as inadvertent
+	// prefetching (both are real effects); it must stay second-order.
+	if ratio := r2.IPC() / r1.IPC(); ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("wrong-path fetch changed IPC by more than 10%%: %.3f vs %.3f", r2.IPC(), r1.IPC())
+	}
+	if r2.Committed != r1.Committed {
+		t.Errorf("wrong-path fetch must not change architectural results: %d vs %d",
+			r2.Committed, r1.Committed)
+	}
+}
+
+func TestWrongPathFetchDeterministic(t *testing.T) {
+	cfg := config.Default128().WithPolicy(config.Sync)
+	cfg.WrongPathFetch = true
+	run := func() int64 {
+		pl, err := New(cfg, emu.NewTrace(emu.New(workload.MustBuild("126.gcc"))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := pl.Run(20_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Cycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic with wrong-path fetch: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,109 @@
+package emu
+
+import (
+	"testing"
+
+	"mdspec/internal/isa"
+	"mdspec/internal/prog"
+)
+
+func TestRegisterDependenceTracking(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Li(isa.R1, 5)               // seq 0: writes r1
+	b.Li(isa.R2, 7)               // seq 1: writes r2
+	b.Add(isa.R3, isa.R1, isa.R2) // seq 2: reads r1 (0), r2 (1)
+	b.Add(isa.R4, isa.R3, isa.R1) // seq 3: reads r3 (2), r1 (0)
+	b.Halt()
+	m := New(b.MustProgram())
+	var ds []DynInst
+	var d DynInst
+	for m.Step(&d) {
+		ds = append(ds, d)
+	}
+	if ds[2].Dep1Seq != 0 || ds[2].Dep2Seq != 1 {
+		t.Errorf("add deps = %d, %d; want 0, 1", ds[2].Dep1Seq, ds[2].Dep2Seq)
+	}
+	if ds[3].Dep1Seq != 2 || ds[3].Dep2Seq != 0 {
+		t.Errorf("second add deps = %d, %d; want 2, 0", ds[3].Dep1Seq, ds[3].Dep2Seq)
+	}
+	// First instruction has no producers.
+	if ds[0].Dep1Seq != -1 || ds[0].Dep2Seq != -1 {
+		t.Errorf("li deps = %d, %d; want -1, -1", ds[0].Dep1Seq, ds[0].Dep2Seq)
+	}
+}
+
+func TestR0NeverADependence(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Addi(isa.R0, isa.R0, 5)     // writes nothing
+	b.Add(isa.R1, isa.R0, isa.R0) // reads r0 twice
+	b.Halt()
+	m := New(b.MustProgram())
+	var ds []DynInst
+	var d DynInst
+	for m.Step(&d) {
+		ds = append(ds, d)
+	}
+	if ds[1].Dep1Seq != -1 || ds[1].Dep2Seq != -1 {
+		t.Errorf("r0 reads should have no producer: %d, %d", ds[1].Dep1Seq, ds[1].Dep2Seq)
+	}
+}
+
+func TestHiLoDependences(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Li(isa.R1, 6)        // 0
+	b.Li(isa.R2, 7)        // 1
+	b.Mult(isa.R1, isa.R2) // 2: writes HI and LO
+	b.Mfhi(isa.R3)         // 3: reads HI
+	b.Mflo(isa.R4)         // 4: reads LO
+	b.Halt()
+	m := New(b.MustProgram())
+	var ds []DynInst
+	var d DynInst
+	for m.Step(&d) {
+		ds = append(ds, d)
+	}
+	if ds[3].Dep1Seq != 2 {
+		t.Errorf("mfhi dep = %d, want 2", ds[3].Dep1Seq)
+	}
+	if ds[4].Dep1Seq != 2 {
+		t.Errorf("mflo dep = %d, want 2", ds[4].Dep1Seq)
+	}
+}
+
+func TestStoreDataAndBaseDeps(t *testing.T) {
+	b := prog.NewBuilder()
+	arr := b.Alloc(8)
+	b.Li(isa.R1, int64(arr)) // 0: base
+	b.Li(isa.R2, 42)         // 1: data
+	b.Sw(isa.R2, isa.R1, 0)  // 2: base dep 0, data dep 1
+	b.Halt()
+	m := New(b.MustProgram())
+	var ds []DynInst
+	var d DynInst
+	for m.Step(&d) {
+		ds = append(ds, d)
+	}
+	if ds[2].Dep1Seq != 0 || ds[2].Dep2Seq != 1 {
+		t.Errorf("store deps = %d, %d; want 0, 1", ds[2].Dep1Seq, ds[2].Dep2Seq)
+	}
+}
+
+func TestJALWritesRADependence(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Jal("fn") // 0: writes RA
+	b.Halt()
+	b.Label("fn")
+	b.Jr(isa.RA) // reads RA written by the JAL
+	m := New(b.MustProgram())
+	var ds []DynInst
+	var d DynInst
+	for m.Step(&d) {
+		ds = append(ds, d)
+	}
+	if len(ds) < 2 || ds[1].Inst.Op != isa.JR {
+		t.Fatalf("unexpected trace: %v", ds)
+	}
+	if ds[1].Dep1Seq != 0 {
+		t.Errorf("jr dep = %d, want 0 (the jal)", ds[1].Dep1Seq)
+	}
+}

@@ -1,0 +1,373 @@
+// Package emu is the functional emulator for the mini-RISC ISA. It
+// executes programs architecturally (no timing) and produces a stream of
+// DynInst records that the timing models consume. Each record carries
+// everything the out-of-order core needs: effective addresses, loaded and
+// stored values, the pre-store memory value (for misspeculation value
+// checks), branch outcomes, and — for loads — the sequence number of the
+// most recent earlier store to the same word (the oracle dependence used
+// by the NAS/ORACLE policy and by false-dependence accounting).
+package emu
+
+import (
+	"fmt"
+
+	"mdspec/internal/isa"
+	"mdspec/internal/prog"
+)
+
+// DynInst is one dynamic (executed) instruction.
+type DynInst struct {
+	Seq  int64 // dynamic sequence number, starting at 0
+	PC   uint32
+	Inst *isa.Inst
+
+	// Memory operations.
+	Addr     uint32 // effective byte address (word aligned)
+	LoadVal  int64  // value loaded (loads)
+	StoreVal int64  // value stored (stores)
+	OldVal   int64  // memory value before the store executed (stores)
+
+	// ProducerSeq is, for loads, the Seq of the youngest earlier store
+	// that wrote this word, or -1 if the word was never stored to. The
+	// timing core compares it against the window contents to decide
+	// whether a load has a true in-window dependence.
+	ProducerSeq int64
+
+	// Dep1Seq/Dep2Seq are the sequence numbers of the dynamic
+	// instructions that last wrote this instruction's register sources
+	// (Src1/Src2), or -1 for none. In a continuous window this equals
+	// what a rename table would record; in the split-window model it
+	// lets register dependences resolve across out-of-order task fetch.
+	Dep1Seq int64
+	Dep2Seq int64
+
+	// Control flow.
+	NextPC uint32 // architecturally correct next PC
+	Taken  bool   // branch/jump was taken
+}
+
+// IsLoad reports whether the dynamic instruction is a load.
+func (d *DynInst) IsLoad() bool { return d.Inst.Op.IsLoad() }
+
+// IsStore reports whether the dynamic instruction is a store.
+func (d *DynInst) IsStore() bool { return d.Inst.Op.IsStore() }
+
+// IsBranch reports whether the dynamic instruction redirects control flow.
+func (d *DynInst) IsBranch() bool { return d.Inst.Op.IsBranch() }
+
+const (
+	pageWords = 512
+	pageShift = 9
+	pageMask  = pageWords - 1
+)
+
+// Memory is a sparse, paged, word-addressed (8-byte words) memory image.
+// The zero value is an empty memory; all words read as zero until written.
+type Memory struct {
+	pages map[uint32]*[pageWords]int64
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*[pageWords]int64)}
+}
+
+func wordAddr(byteAddr uint32) uint32 { return byteAddr >> 3 }
+
+// Read returns the word at byte address addr (must be 8-byte aligned).
+func (m *Memory) Read(addr uint32) int64 {
+	w := wordAddr(addr)
+	pg := m.pages[w>>pageShift]
+	if pg == nil {
+		return 0
+	}
+	return pg[w&pageMask]
+}
+
+// Write stores v at byte address addr (must be 8-byte aligned).
+func (m *Memory) Write(addr uint32, v int64) {
+	w := wordAddr(addr)
+	key := w >> pageShift
+	pg := m.pages[key]
+	if pg == nil {
+		pg = new([pageWords]int64)
+		m.pages[key] = pg
+	}
+	pg[w&pageMask] = v
+}
+
+// Footprint returns the number of distinct pages touched.
+func (m *Memory) Footprint() int { return len(m.pages) }
+
+// Machine executes a program functionally.
+type Machine struct {
+	prog   *prog.Program
+	mem    *Memory
+	regs   [isa.NumRegs]int64
+	pc     uint32
+	seq    int64
+	halted bool
+
+	// lastStore maps word address -> Seq of the last store to it.
+	lastStore map[uint32]int64
+	// lastWriter maps register -> Seq of the last instruction to write
+	// it (-1 if never written).
+	lastWriter [isa.NumRegs]int64
+}
+
+// New returns a Machine at the program entry with the program's initial
+// data image loaded and SP set to the stack base.
+func New(p *prog.Program) *Machine {
+	m := &Machine{
+		prog:      p,
+		mem:       NewMemory(),
+		pc:        p.Entry,
+		lastStore: make(map[uint32]int64),
+	}
+	for addr, v := range p.Data {
+		m.mem.Write(addr, v)
+	}
+	m.regs[isa.SP] = int64(prog.StackBase)
+	for i := range m.lastWriter {
+		m.lastWriter[i] = -1
+	}
+	return m
+}
+
+// PC returns the current program counter.
+func (m *Machine) PC() uint32 { return m.pc }
+
+// Halted reports whether a HALT instruction has executed.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Seq returns the number of instructions executed so far.
+func (m *Machine) Seq() int64 { return m.seq }
+
+// Reg returns the architectural value of register r.
+func (m *Machine) Reg(r isa.Reg) int64 {
+	if r == isa.NoReg {
+		return 0
+	}
+	return m.regs[r]
+}
+
+// Mem returns the memory image (shared, not a copy).
+func (m *Machine) Mem() *Memory { return m.mem }
+
+// Program returns the program being executed.
+func (m *Machine) Program() *prog.Program { return m.prog }
+
+func (m *Machine) setReg(r isa.Reg, v int64) {
+	if r == isa.NoReg || r == isa.R0 {
+		return
+	}
+	m.regs[r] = v
+}
+
+// Step executes one instruction and fills d with its dynamic record.
+// It returns false (with d untouched) once the machine has halted or the
+// PC leaves the text section.
+func (m *Machine) Step(d *DynInst) bool {
+	if m.halted {
+		return false
+	}
+	in, ok := m.prog.At(m.pc)
+	if !ok {
+		m.halted = true
+		return false
+	}
+
+	*d = DynInst{
+		Seq:         m.seq,
+		PC:          m.pc,
+		Inst:        in,
+		ProducerSeq: -1,
+		Dep1Seq:     m.writerOf(in.Src1()),
+		Dep2Seq:     m.writerOf(in.Src2()),
+		NextPC:      m.pc + isa.InstBytes,
+	}
+
+	r1 := m.Reg(in.Src1())
+	r2v := m.Reg(in.Rs2)
+
+	switch in.Op {
+	case isa.NOP:
+	case isa.HALT:
+		m.halted = true
+	case isa.ADD:
+		m.setReg(in.Rd, r1+r2v)
+	case isa.ADDI:
+		m.setReg(in.Rd, r1+in.Imm)
+	case isa.SUB:
+		m.setReg(in.Rd, r1-r2v)
+	case isa.AND:
+		m.setReg(in.Rd, r1&r2v)
+	case isa.ANDI:
+		m.setReg(in.Rd, r1&in.Imm)
+	case isa.OR:
+		m.setReg(in.Rd, r1|r2v)
+	case isa.ORI:
+		m.setReg(in.Rd, r1|in.Imm)
+	case isa.XOR:
+		m.setReg(in.Rd, r1^r2v)
+	case isa.XORI:
+		m.setReg(in.Rd, r1^in.Imm)
+	case isa.SLL:
+		m.setReg(in.Rd, r1<<uint(in.Imm&63))
+	case isa.SRL:
+		m.setReg(in.Rd, int64(uint64(r1)>>uint(in.Imm&63)))
+	case isa.SRA:
+		m.setReg(in.Rd, r1>>uint(in.Imm&63))
+	case isa.SLT:
+		m.setReg(in.Rd, boolToInt(r1 < r2v))
+	case isa.SLTI:
+		m.setReg(in.Rd, boolToInt(r1 < in.Imm))
+	case isa.LUI:
+		m.setReg(in.Rd, in.Imm<<16)
+	case isa.MULT:
+		m.regs[isa.LO] = r1 * r2v
+		m.regs[isa.HI] = mulHigh(r1, r2v)
+	case isa.DIV:
+		if r2v == 0 {
+			m.regs[isa.LO] = -1
+			m.regs[isa.HI] = r1
+		} else {
+			m.regs[isa.LO] = r1 / r2v
+			m.regs[isa.HI] = r1 % r2v
+		}
+	case isa.MFHI:
+		m.setReg(in.Rd, m.regs[isa.HI])
+	case isa.MFLO:
+		m.setReg(in.Rd, m.regs[isa.LO])
+	case isa.FADD:
+		m.setReg(in.Rd, r1+r2v) // FP values are modeled as int64 payloads
+	case isa.FSUB:
+		m.setReg(in.Rd, r1-r2v)
+	case isa.FCMP:
+		m.setReg(in.Rd, boolToInt(r1 < r2v))
+	case isa.FMULS, isa.FMULD:
+		m.setReg(in.Rd, r1*r2v)
+	case isa.FDIVS, isa.FDIVD:
+		if r2v == 0 {
+			m.setReg(in.Rd, 0)
+		} else {
+			m.setReg(in.Rd, r1/r2v)
+		}
+	case isa.FMOV, isa.MTF, isa.MFF:
+		m.setReg(in.Rd, r1)
+	case isa.LW, isa.LB, isa.LBU, isa.LH:
+		byteAddr := uint32(r1 + in.Imm)
+		addr := alignWord(byteAddr)
+		d.Addr = addr
+		word := m.mem.Read(addr)
+		d.LoadVal = extract(word, in.Op, byteAddr)
+		if s, ok := m.lastStore[wordAddr(addr)]; ok {
+			d.ProducerSeq = s
+		}
+		m.setReg(in.Rd, d.LoadVal)
+	case isa.SW, isa.SB, isa.SH:
+		byteAddr := uint32(r1 + in.Imm)
+		addr := alignWord(byteAddr)
+		d.Addr = addr
+		d.OldVal = m.mem.Read(addr)
+		d.StoreVal = merge(d.OldVal, r2v, in.Op, byteAddr)
+		m.mem.Write(addr, d.StoreVal)
+		m.lastStore[wordAddr(addr)] = m.seq
+	case isa.BEQ:
+		d.Taken = r1 == r2v
+	case isa.BNE:
+		d.Taken = r1 != r2v
+	case isa.BLT:
+		d.Taken = r1 < r2v
+	case isa.BGE:
+		d.Taken = r1 >= r2v
+	case isa.J:
+		d.Taken = true
+	case isa.JAL:
+		d.Taken = true
+		m.setReg(isa.RA, int64(m.pc+isa.InstBytes))
+	case isa.JR:
+		d.Taken = true
+		d.NextPC = uint32(r1)
+	default:
+		panic(fmt.Sprintf("emu: unimplemented op %v at pc %#x", in.Op, m.pc))
+	}
+
+	if in.Op.IsCondBranch() || in.Op == isa.J || in.Op == isa.JAL {
+		if d.Taken {
+			d.NextPC = in.Target
+		}
+	}
+	if dst := in.Dest(); dst != isa.NoReg && dst != isa.R0 {
+		m.lastWriter[dst] = m.seq
+	}
+	if in.Op == isa.MULT || in.Op == isa.DIV {
+		m.lastWriter[isa.HI] = m.seq
+		m.lastWriter[isa.LO] = m.seq
+	}
+	m.pc = d.NextPC
+	m.seq++
+	return true
+}
+
+// writerOf returns the seq of the last writer of r, or -1 when the
+// operand needs no wait (absent, or the hardwired zero register).
+func (m *Machine) writerOf(r isa.Reg) int64 {
+	if r == isa.NoReg || r == isa.R0 {
+		return -1
+	}
+	return m.lastWriter[r]
+}
+
+func alignWord(addr uint32) uint32 { return addr &^ 7 }
+
+// extract pulls the sub-word value a load reads out of its containing
+// word. Halfwords are aligned to 2 bytes within the word.
+func extract(word int64, op isa.Op, byteAddr uint32) int64 {
+	switch op {
+	case isa.LB:
+		sh := uint(byteAddr&7) * 8
+		return int64(int8(word >> sh))
+	case isa.LBU:
+		sh := uint(byteAddr&7) * 8
+		return int64(uint8(word >> sh))
+	case isa.LH:
+		sh := uint(byteAddr&6) * 8
+		return int64(int16(word >> sh))
+	}
+	return word
+}
+
+// merge writes a sub-word store value into its containing word.
+func merge(old, val int64, op isa.Op, byteAddr uint32) int64 {
+	switch op {
+	case isa.SB:
+		sh := uint(byteAddr&7) * 8
+		mask := int64(0xff) << sh
+		return (old &^ mask) | ((val & 0xff) << sh)
+	case isa.SH:
+		sh := uint(byteAddr&6) * 8
+		mask := int64(0xffff) << sh
+		return (old &^ mask) | ((val & 0xffff) << sh)
+	}
+	return val
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func mulHigh(a, b int64) int64 {
+	// 128-bit signed multiply high via 64x64 decomposition.
+	const mask = 1<<32 - 1
+	aLo, aHi := uint64(a)&mask, a>>32
+	bLo, bHi := uint64(b)&mask, b>>32
+	t := aHi*int64(bLo) + int64((aLo*bLo)>>32)
+	w1 := uint64(t) & mask
+	w2 := t >> 32
+	t2 := int64(aLo)*bHi + int64(w1)
+	return aHi*bHi + w2 + (t2 >> 32)
+}

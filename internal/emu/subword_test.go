@@ -1,0 +1,131 @@
+package emu
+
+import (
+	"testing"
+
+	"mdspec/internal/isa"
+	"mdspec/internal/prog"
+)
+
+func TestByteLoadSignAndZeroExtend(t *testing.T) {
+	b := prog.NewBuilder()
+	// Word laid out so byte 0 = 0x80 (negative as int8), byte 1 = 0x7f.
+	arr := b.AllocInit(0x7f80)
+	b.Li(isa.R1, int64(arr))
+	b.Lb(isa.R2, isa.R1, 0)  // sign-extended -128
+	b.Lbu(isa.R3, isa.R1, 0) // zero-extended 128
+	b.Lb(isa.R4, isa.R1, 1)  // 0x7f
+	b.Halt()
+	m := New(b.MustProgram())
+	var d DynInst
+	for m.Step(&d) {
+	}
+	if got := m.Reg(isa.R2); got != -128 {
+		t.Errorf("lb = %d, want -128", got)
+	}
+	if got := m.Reg(isa.R3); got != 128 {
+		t.Errorf("lbu = %d, want 128", got)
+	}
+	if got := m.Reg(isa.R4); got != 0x7f {
+		t.Errorf("lb byte1 = %d, want 127", got)
+	}
+}
+
+func TestHalfwordLoad(t *testing.T) {
+	b := prog.NewBuilder()
+	arr := b.AllocInit(int64(uint64(0xfff08001))) // halfword 0 = 0x8001 (negative)
+	b.Li(isa.R1, int64(arr))
+	b.Lh(isa.R2, isa.R1, 0)
+	b.Lh(isa.R3, isa.R1, 2) // 0xfff0 -> negative
+	b.Halt()
+	m := New(b.MustProgram())
+	var d DynInst
+	for m.Step(&d) {
+	}
+	if got := m.Reg(isa.R2); got != -32767 { // 0x8001 sign-extended
+		t.Errorf("lh low = %d, want -32767", got)
+	}
+	if got := m.Reg(isa.R3); got != -16 { // 0xfff0 sign-extended
+		t.Errorf("lh high = %d, want -16", got)
+	}
+}
+
+func TestByteStoreReadModifyWrite(t *testing.T) {
+	b := prog.NewBuilder()
+	arr := b.AllocInit(0x1122334455667788)
+	b.Li(isa.R1, int64(arr))
+	b.Li(isa.R2, 0xAB)
+	b.Sb(isa.R2, isa.R1, 2) // replace byte 2
+	b.Lw(isa.R3, isa.R1, 0)
+	b.Halt()
+	m := New(b.MustProgram())
+	var d DynInst
+	for m.Step(&d) {
+	}
+	want := int64(0x11223344_55AB7788)
+	if got := m.Reg(isa.R3); got != want {
+		t.Errorf("word after sb = %#x, want %#x", got, want)
+	}
+}
+
+func TestHalfwordStore(t *testing.T) {
+	b := prog.NewBuilder()
+	arr := b.AllocInit(0)
+	b.Li(isa.R1, int64(arr))
+	b.Li(isa.R2, 0x1234)
+	b.Sh(isa.R2, isa.R1, 4)
+	b.Lw(isa.R3, isa.R1, 0)
+	b.Halt()
+	m := New(b.MustProgram())
+	var d DynInst
+	for m.Step(&d) {
+	}
+	if got := m.Reg(isa.R3); got != 0x1234_00000000 {
+		t.Errorf("word after sh = %#x", got)
+	}
+}
+
+func TestSubwordProducerIsWordGranular(t *testing.T) {
+	// A byte store makes the whole word "written" for dependence
+	// purposes — like the paper's word-granular detection hardware.
+	b := prog.NewBuilder()
+	arr := b.AllocInit(0)
+	b.Li(isa.R1, int64(arr))
+	b.Li(isa.R2, 0x55)
+	b.Sb(isa.R2, isa.R1, 6) // byte 6 of the word
+	b.Lw(isa.R3, isa.R1, 0) // whole word: depends on the byte store
+	b.Halt()
+	m := New(b.MustProgram())
+	var ds []DynInst
+	var d DynInst
+	for m.Step(&d) {
+		ds = append(ds, d)
+	}
+	var store, load *DynInst
+	for i := range ds {
+		if ds[i].IsStore() {
+			store = &ds[i]
+		}
+		if ds[i].IsLoad() {
+			load = &ds[i]
+		}
+	}
+	if load.ProducerSeq != store.Seq {
+		t.Errorf("word load producer = %d, want the byte store %d", load.ProducerSeq, store.Seq)
+	}
+	if load.Addr != store.Addr {
+		t.Errorf("sub-word accesses should share the word address: %#x vs %#x", load.Addr, store.Addr)
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	cases := map[isa.Op]int{
+		isa.LW: 8, isa.SW: 8, isa.LH: 2, isa.SH: 2,
+		isa.LB: 1, isa.LBU: 1, isa.SB: 1, isa.ADD: 0,
+	}
+	for op, want := range cases {
+		if got := op.MemBytes(); got != want {
+			t.Errorf("%v.MemBytes() = %d, want %d", op, got, want)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package emu
+
+// Trace is a lazily-extended buffer of dynamic instructions produced by a
+// Machine. Timing models index it by sequence number: the fetch stage
+// walks forward, squashes rewind to an earlier sequence number, and commit
+// releases records that can no longer be referenced. A released prefix is
+// reclaimed so memory stays proportional to the instruction window, not
+// the run length.
+type Trace struct {
+	m    *Machine
+	base int64
+	buf  []DynInst
+}
+
+// NewTrace returns a Trace over m. The machine must not be stepped
+// directly once it is owned by a Trace.
+func NewTrace(m *Machine) *Trace {
+	return &Trace{m: m, buf: make([]DynInst, 0, 1024)}
+}
+
+// At returns the dynamic instruction with sequence number seq, extending
+// the trace as necessary. It returns nil if the program halts before seq
+// is reached. seq must be >= the last Release point.
+func (t *Trace) At(seq int64) *DynInst {
+	if seq < t.base {
+		panic("emu: Trace.At before released prefix")
+	}
+	for seq >= t.base+int64(len(t.buf)) {
+		var d DynInst
+		if !t.m.Step(&d) {
+			return nil
+		}
+		t.buf = append(t.buf, d)
+	}
+	return &t.buf[seq-t.base]
+}
+
+// Release declares that records with sequence numbers below seq will not
+// be requested again, allowing their storage to be reclaimed.
+func (t *Trace) Release(seq int64) {
+	if seq <= t.base {
+		return
+	}
+	n := seq - t.base
+	if n > int64(len(t.buf)) {
+		n = int64(len(t.buf))
+		seq = t.base + n
+	}
+	// Compact only once a sizable prefix is dead, to amortize the copy.
+	if n >= 4096 || int(n)*2 >= cap(t.buf) {
+		remaining := copy(t.buf, t.buf[n:])
+		t.buf = t.buf[:remaining]
+		t.base = seq
+	}
+}
+
+// Len returns the number of instructions generated so far.
+func (t *Trace) Len() int64 { return t.base + int64(len(t.buf)) }
+
+// Machine returns the underlying machine (for architectural inspection).
+func (t *Trace) Machine() *Machine { return t.m }

@@ -1,0 +1,181 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§3) over the synthetic SPEC'95-analog suite, plus the §4
+// summary averages and a set of ablation studies. Each experiment
+// returns typed rows and has a paper-style text renderer; cmd/mdexp and
+// the repository's benchmarks drive them.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mdspec/internal/config"
+	"mdspec/internal/core"
+	"mdspec/internal/emu"
+	"mdspec/internal/prog"
+	"mdspec/internal/stats"
+	"mdspec/internal/workload"
+)
+
+// Options controls experiment scale.
+type Options struct {
+	// Insts is the number of committed instructions simulated per
+	// (benchmark, configuration) pair.
+	Insts int64
+	// Benchmarks restricts the suite (default: all 18 of Table 1).
+	Benchmarks []string
+	// Parallel bounds concurrent simulations (default: GOMAXPROCS).
+	Parallel int
+}
+
+// DefaultOptions runs the full suite at a laptop-friendly budget.
+func DefaultOptions() Options {
+	return Options{Insts: 150_000}
+}
+
+func (o Options) benchmarks() []string {
+	if len(o.Benchmarks) > 0 {
+		return o.Benchmarks
+	}
+	return workload.Names()
+}
+
+func (o Options) parallel() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Runner executes and memoizes simulations: most experiments share
+// baseline configurations, so each (benchmark, config) pair runs once.
+type Runner struct {
+	opt Options
+
+	mu    sync.Mutex
+	progs map[string]*prog.Program
+	cache map[runKey]*stats.Run
+}
+
+type runKey struct {
+	bench string
+	cfg   config.Machine
+}
+
+// NewRunner returns a Runner with the given options.
+func NewRunner(opt Options) *Runner {
+	if opt.Insts <= 0 {
+		opt.Insts = DefaultOptions().Insts
+	}
+	return &Runner{
+		opt:   opt,
+		progs: make(map[string]*prog.Program),
+		cache: make(map[runKey]*stats.Run),
+	}
+}
+
+// Options returns the runner's options.
+func (r *Runner) Options() Options { return r.opt }
+
+func (r *Runner) program(bench string) (*prog.Program, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.progs[bench]; ok {
+		return p, nil
+	}
+	p, err := workload.Build(bench)
+	if err != nil {
+		return nil, err
+	}
+	r.progs[bench] = p
+	return p, nil
+}
+
+// Run simulates bench under cfg (memoized).
+func (r *Runner) Run(bench string, cfg config.Machine) (*stats.Run, error) {
+	key := runKey{bench, cfg}
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	p, err := r.program(bench)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := core.New(cfg, emu.NewTrace(emu.New(p)))
+	if err != nil {
+		return nil, err
+	}
+	res, err := pl.Run(r.opt.Insts)
+	if err != nil {
+		return nil, fmt.Errorf("%s under %s: %w", bench, cfg.Name(), err)
+	}
+	res.Workload = bench
+
+	r.mu.Lock()
+	r.cache[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// job is one (bench, config) simulation request.
+type job struct {
+	bench string
+	cfg   config.Machine
+}
+
+// runAll executes all jobs with bounded parallelism, returning the first
+// error encountered.
+func (r *Runner) runAll(jobs []job) error {
+	sem := make(chan struct{}, r.opt.parallel())
+	errCh := make(chan error, len(jobs))
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if _, err := r.Run(j.bench, j.cfg); err != nil {
+				errCh <- err
+			}
+		}(j)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// prefetch runs the cross product of benchmarks and configs in parallel
+// so subsequent Run calls hit the memo.
+func (r *Runner) prefetch(benches []string, cfgs ...config.Machine) error {
+	var jobs []job
+	for _, b := range benches {
+		for _, c := range cfgs {
+			jobs = append(jobs, job{b, c})
+		}
+	}
+	return r.runAll(jobs)
+}
+
+// means computes arithmetic means of a metric over the SPECint and
+// SPECfp subsets of rows (keyed by benchmark name).
+func meansByClass(benches []string, metric func(bench string) float64) (intMean, fpMean float64) {
+	intSet := make(map[string]bool)
+	for _, n := range workload.IntNames() {
+		intSet[n] = true
+	}
+	var iv, fv []float64
+	for _, b := range benches {
+		if intSet[b] {
+			iv = append(iv, metric(b))
+		} else {
+			fv = append(fv, metric(b))
+		}
+	}
+	return stats.Mean(iv), stats.Mean(fv)
+}

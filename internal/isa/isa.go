@@ -1,0 +1,420 @@
+// Package isa defines the mini-RISC instruction set used by the
+// reproduction. It is a MIPS-I-inspired, load/store architecture: 32
+// integer registers (R0 hardwired to zero), 32 floating-point registers,
+// and HI/LO for multiply/divide results. Instructions are fixed 4-byte
+// units addressed by PC.
+//
+// The ISA exists so the timing simulator (internal/core) can be
+// execution-driven: workloads (internal/workload) are assembled into
+// isa.Program values, executed functionally by internal/emu, and timed by
+// the out-of-order pipeline model.
+package isa
+
+import "fmt"
+
+// Reg identifies an architectural register. Integer registers are
+// R0..R31, floating-point registers are F0..F31, and HI/LO follow.
+type Reg uint8
+
+// Integer register names (MIPS-flavored conventions).
+const (
+	R0 Reg = iota // hardwired zero
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	R16
+	R17
+	R18
+	R19
+	R20
+	R21
+	R22
+	R23
+	R24
+	R25
+	R26
+	R27
+	R28
+	SP // R29: stack pointer
+	FP // R30: frame pointer
+	RA // R31: return address
+)
+
+// Floating point registers.
+const (
+	F0 Reg = 32 + iota
+	F1
+	F2
+	F3
+	F4
+	F5
+	F6
+	F7
+	F8
+	F9
+	F10
+	F11
+	F12
+	F13
+	F14
+	F15
+	F16
+	F17
+	F18
+	F19
+	F20
+	F21
+	F22
+	F23
+	F24
+	F25
+	F26
+	F27
+	F28
+	F29
+	F30
+	F31
+)
+
+// Special registers.
+const (
+	HI Reg = 64 + iota
+	LO
+	// NumRegs is the size of the architectural register file.
+	NumRegs
+
+	// NoReg marks an absent operand.
+	NoReg Reg = 255
+)
+
+// IsInt reports whether r is one of the 32 integer registers.
+func (r Reg) IsInt() bool { return r < 32 }
+
+// IsFP reports whether r is one of the 32 floating-point registers.
+func (r Reg) IsFP() bool { return r >= 32 && r < 64 }
+
+// String returns the assembler name of the register.
+func (r Reg) String() string {
+	switch {
+	case r == NoReg:
+		return "-"
+	case r < 32:
+		switch r {
+		case SP:
+			return "sp"
+		case FP:
+			return "fp"
+		case RA:
+			return "ra"
+		}
+		return fmt.Sprintf("r%d", uint8(r))
+	case r < 64:
+		return fmt.Sprintf("f%d", uint8(r)-32)
+	case r == HI:
+		return "hi"
+	case r == LO:
+		return "lo"
+	}
+	return fmt.Sprintf("reg?%d", uint8(r))
+}
+
+// Op is an operation code. Opcodes are grouped by functional-unit class;
+// see Class.
+type Op uint8
+
+// Integer ALU operations (register-register unless suffixed I).
+const (
+	NOP Op = iota
+	ADD
+	ADDI
+	SUB
+	AND
+	ANDI
+	OR
+	ORI
+	XOR
+	XORI
+	SLL // shift left logical (by Imm)
+	SRL // shift right logical (by Imm)
+	SRA // shift right arithmetic (by Imm)
+	SLT // set if less than
+	SLTI
+	LUI // load upper immediate
+
+	// Integer multiply/divide (results in HI/LO, read back with MFHI/MFLO).
+	MULT
+	DIV
+	MFHI
+	MFLO
+
+	// Floating point. SP = single precision latency class, DP = double.
+	FADD // SP/DP add & subtract & compare share the 2-cycle class
+	FSUB
+	FCMP  // writes integer 0/1 into Rd (an int reg)
+	FMULS // 4-cycle single multiply
+	FMULD // 5-cycle double multiply
+	FDIVS // 12-cycle single divide
+	FDIVD // 15-cycle double divide
+	FMOV  // fp move / convert, 2 cycles
+	MTF   // move int reg -> fp reg
+	MFF   // move fp reg -> int reg
+
+	// Memory. Effective address = Rs1 + Imm. LW loads into Rd (int or fp
+	// depending on Rd), SW stores Rs2. LB/LH load sign-extended bytes and
+	// halfwords (LBU zero-extends); SB/SH store the low byte/halfword of
+	// Rs2. Dependence detection in the core is word-granular, as in the
+	// paper's hardware.
+	LW
+	SW
+	LB
+	LBU
+	LH
+	SB
+	SH
+
+	// Control. Conditional branches compare Rs1 against Rs2 (or zero) and
+	// jump to Target. JAL writes the return PC into RA. JR jumps to the
+	// address in Rs1 (returns, indirect calls).
+	BEQ
+	BNE
+	BLT
+	BGE
+	J
+	JAL
+	JR
+
+	// HALT stops the emulator (end of program).
+	HALT
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	NOP: "nop", ADD: "add", ADDI: "addi", SUB: "sub", AND: "and",
+	ANDI: "andi", OR: "or", ORI: "ori", XOR: "xor", XORI: "xori",
+	SLL: "sll", SRL: "srl", SRA: "sra", SLT: "slt", SLTI: "slti",
+	LUI: "lui", MULT: "mult", DIV: "div", MFHI: "mfhi", MFLO: "mflo",
+	FADD: "fadd", FSUB: "fsub", FCMP: "fcmp", FMULS: "fmul.s",
+	FMULD: "fmul.d", FDIVS: "fdiv.s", FDIVD: "fdiv.d", FMOV: "fmov",
+	MTF: "mtf", MFF: "mff", LW: "lw", SW: "sw", LB: "lb", LBU: "lbu",
+	LH: "lh", SB: "sb", SH: "sh", BEQ: "beq", BNE: "bne",
+	BLT: "blt", BGE: "bge", J: "j", JAL: "jal", JR: "jr", HALT: "halt",
+}
+
+// String returns the assembler mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op?%d", uint8(o))
+}
+
+// Class partitions opcodes by the functional unit that executes them and
+// therefore by latency (Table 2 of the paper).
+type Class uint8
+
+// Functional-unit classes.
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMult
+	ClassIntDiv
+	ClassFPAdd  // add/sub/compare, 2 cycles
+	ClassFPMulS // 4 cycles
+	ClassFPMulD // 5 cycles
+	ClassFPDivS // 12 cycles
+	ClassFPDivD // 15 cycles
+	ClassLoad
+	ClassStore
+	ClassBranch // includes jumps
+)
+
+// Class returns the functional-unit class of the opcode.
+func (o Op) Class() Class {
+	switch o {
+	case NOP, HALT:
+		return ClassNop
+	case MULT:
+		return ClassIntMult
+	case DIV:
+		return ClassIntDiv
+	case FADD, FSUB, FCMP, FMOV, MTF, MFF:
+		return ClassFPAdd
+	case FMULS:
+		return ClassFPMulS
+	case FMULD:
+		return ClassFPMulD
+	case FDIVS:
+		return ClassFPDivS
+	case FDIVD:
+		return ClassFPDivD
+	case LW, LB, LBU, LH:
+		return ClassLoad
+	case SW, SB, SH:
+		return ClassStore
+	case BEQ, BNE, BLT, BGE, J, JAL, JR:
+		return ClassBranch
+	default:
+		return ClassIntALU
+	}
+}
+
+// Latency returns the execution latency in cycles for the class, per the
+// paper's Table 2. Loads report the address-generation latency only; the
+// cache model adds memory time. Branches and stores take one cycle of
+// execution (condition evaluation / address+data merge).
+func (c Class) Latency() int {
+	switch c {
+	case ClassIntMult:
+		return 4
+	case ClassIntDiv:
+		return 12
+	case ClassFPAdd:
+		return 2
+	case ClassFPMulS:
+		return 4
+	case ClassFPMulD:
+		return 5
+	case ClassFPDivS:
+		return 12
+	case ClassFPDivD:
+		return 15
+	default:
+		return 1
+	}
+}
+
+// IsMem reports whether the op accesses memory.
+func (o Op) IsMem() bool { return o.IsLoad() || o.IsStore() }
+
+// IsLoad reports whether the op is a load.
+func (o Op) IsLoad() bool { return o.Class() == ClassLoad }
+
+// IsStore reports whether the op is a store.
+func (o Op) IsStore() bool { return o.Class() == ClassStore }
+
+// MemBytes returns the access width in bytes (0 for non-memory ops).
+func (o Op) MemBytes() int {
+	switch o {
+	case LW, SW:
+		return 8
+	case LH, SH:
+		return 2
+	case LB, LBU, SB:
+		return 1
+	}
+	return 0
+}
+
+// IsBranch reports whether the op redirects control flow (conditionals,
+// jumps, calls, returns).
+func (o Op) IsBranch() bool { return o.Class() == ClassBranch }
+
+// IsCondBranch reports whether the op is a conditional branch.
+func (o Op) IsCondBranch() bool {
+	switch o {
+	case BEQ, BNE, BLT, BGE:
+		return true
+	}
+	return false
+}
+
+// Inst is one static instruction. The interpretation of the fields
+// depends on Op:
+//
+//	ALU reg-reg:  Rd <- Rs1 op Rs2
+//	ALU reg-imm:  Rd <- Rs1 op Imm
+//	LW:           Rd <- Mem[Rs1+Imm]
+//	SW:           Mem[Rs1+Imm] <- Rs2
+//	Bcc:          if Rs1 cc Rs2 goto Target
+//	J/JAL:        goto Target (JAL: RA <- return PC)
+//	JR:           goto Rs1
+type Inst struct {
+	Op     Op
+	Rd     Reg
+	Rs1    Reg
+	Rs2    Reg
+	Imm    int64
+	Target uint32 // absolute byte PC for direct branches/jumps
+}
+
+// InstBytes is the size of one instruction in bytes; PCs advance by it.
+const InstBytes = 4
+
+// Dest returns the destination register or NoReg.
+func (in *Inst) Dest() Reg {
+	switch in.Op {
+	case SW, SB, SH, BEQ, BNE, BLT, BGE, J, JR, NOP, HALT:
+		return NoReg
+	case JAL:
+		return RA
+	case MULT, DIV:
+		return LO // model HI:LO pair as LO being the named result; MFHI reads HI
+	}
+	return in.Rd
+}
+
+// Src1 returns the first source register or NoReg.
+func (in *Inst) Src1() Reg {
+	switch in.Op {
+	case NOP, HALT, J, JAL, LUI:
+		return NoReg
+	case MFHI:
+		return HI
+	case MFLO:
+		return LO
+	}
+	return in.Rs1
+}
+
+// Src2 returns the second source register or NoReg.
+func (in *Inst) Src2() Reg {
+	switch in.Op {
+	case ADD, SUB, AND, OR, XOR, SLT, MULT, DIV,
+		FADD, FSUB, FCMP, FMULS, FMULD, FDIVS, FDIVD,
+		SW, SB, SH, BEQ, BNE, BLT, BGE:
+		return in.Rs2
+	}
+	return NoReg
+}
+
+// String disassembles the instruction.
+func (in *Inst) String() string {
+	switch in.Op {
+	case NOP, HALT:
+		return in.Op.String()
+	case LW, LB, LBU, LH:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case SW, SB, SH:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case BEQ, BNE, BLT, BGE:
+		return fmt.Sprintf("%s %s, %s, 0x%x", in.Op, in.Rs1, in.Rs2, in.Target)
+	case J, JAL:
+		return fmt.Sprintf("%s 0x%x", in.Op, in.Target)
+	case JR:
+		return fmt.Sprintf("%s %s", in.Op, in.Rs1)
+	case ADDI, ANDI, ORI, XORI, SLTI, SLL, SRL, SRA:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case LUI:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case MFHI, MFLO:
+		return fmt.Sprintf("%s %s", in.Op, in.Rd)
+	case MULT, DIV:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rs1, in.Rs2)
+	case MTF, MFF, FMOV:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rs1)
+	}
+	return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+}

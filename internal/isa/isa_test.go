@@ -1,0 +1,149 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{R0, "r0"}, {R5, "r5"}, {SP, "sp"}, {FP, "fp"}, {RA, "ra"},
+		{F0, "f0"}, {F31, "f31"}, {HI, "hi"}, {LO, "lo"}, {NoReg, "-"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRegClassPredicates(t *testing.T) {
+	if !R7.IsInt() || R7.IsFP() {
+		t.Error("R7 should be int, not fp")
+	}
+	if !F3.IsFP() || F3.IsInt() {
+		t.Error("F3 should be fp, not int")
+	}
+	if HI.IsInt() || HI.IsFP() {
+		t.Error("HI should be neither int nor fp")
+	}
+}
+
+func TestOpClassLatencies(t *testing.T) {
+	// Table 2 of the paper.
+	cases := []struct {
+		op   Op
+		want int
+	}{
+		{ADD, 1}, {SUB, 1}, {SLT, 1},
+		{MULT, 4}, {DIV, 12},
+		{FADD, 2}, {FSUB, 2}, {FCMP, 2},
+		{FMULS, 4}, {FMULD, 5}, {FDIVS, 12}, {FDIVD, 15},
+	}
+	for _, c := range cases {
+		if got := c.op.Class().Latency(); got != c.want {
+			t.Errorf("%v latency = %d, want %d", c.op, got, c.want)
+		}
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !LW.IsMem() || !LW.IsLoad() || LW.IsStore() {
+		t.Error("LW predicates wrong")
+	}
+	if !SW.IsMem() || !SW.IsStore() || SW.IsLoad() {
+		t.Error("SW predicates wrong")
+	}
+	for _, op := range []Op{BEQ, BNE, BLT, BGE, J, JAL, JR} {
+		if !op.IsBranch() {
+			t.Errorf("%v should be a branch", op)
+		}
+	}
+	for _, op := range []Op{BEQ, BNE, BLT, BGE} {
+		if !op.IsCondBranch() {
+			t.Errorf("%v should be a conditional branch", op)
+		}
+	}
+	for _, op := range []Op{J, JAL, JR, ADD, LW} {
+		if op.IsCondBranch() {
+			t.Errorf("%v should not be a conditional branch", op)
+		}
+	}
+	if ADD.IsBranch() || ADD.IsMem() {
+		t.Error("ADD predicates wrong")
+	}
+}
+
+func TestInstOperands(t *testing.T) {
+	add := Inst{Op: ADD, Rd: R1, Rs1: R2, Rs2: R3}
+	if add.Dest() != R1 || add.Src1() != R2 || add.Src2() != R3 {
+		t.Errorf("ADD operands wrong: %v %v %v", add.Dest(), add.Src1(), add.Src2())
+	}
+	lw := Inst{Op: LW, Rd: R4, Rs1: R5, Imm: 8}
+	if lw.Dest() != R4 || lw.Src1() != R5 || lw.Src2() != NoReg {
+		t.Error("LW operands wrong")
+	}
+	sw := Inst{Op: SW, Rs1: R5, Rs2: R6, Imm: 8}
+	if sw.Dest() != NoReg || sw.Src1() != R5 || sw.Src2() != R6 {
+		t.Error("SW operands wrong")
+	}
+	jal := Inst{Op: JAL, Target: 0x400010}
+	if jal.Dest() != RA {
+		t.Error("JAL should write RA")
+	}
+	jr := Inst{Op: JR, Rs1: RA}
+	if jr.Dest() != NoReg || jr.Src1() != RA {
+		t.Error("JR operands wrong")
+	}
+	mfhi := Inst{Op: MFHI, Rd: R2}
+	if mfhi.Src1() != HI {
+		t.Error("MFHI should read HI")
+	}
+	mflo := Inst{Op: MFLO, Rd: R2}
+	if mflo.Src1() != LO {
+		t.Error("MFLO should read LO")
+	}
+	mult := Inst{Op: MULT, Rs1: R1, Rs2: R2}
+	if mult.Dest() != LO || mult.Src2() != R2 {
+		t.Error("MULT operands wrong")
+	}
+	beq := Inst{Op: BEQ, Rs1: R1, Rs2: R2}
+	if beq.Dest() != NoReg || beq.Src2() != R2 {
+		t.Error("BEQ operands wrong")
+	}
+	lui := Inst{Op: LUI, Rd: R1, Imm: 5}
+	if lui.Src1() != NoReg {
+		t.Error("LUI should have no register source")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: ADD, Rd: R1, Rs1: R2, Rs2: R3}, "add r1, r2, r3"},
+		{Inst{Op: LW, Rd: R4, Rs1: SP, Imm: 16}, "lw r4, 16(sp)"},
+		{Inst{Op: SW, Rs2: R6, Rs1: SP, Imm: -8}, "sw r6, -8(sp)"},
+		{Inst{Op: BNE, Rs1: R1, Rs2: R0, Target: 0x400020}, "bne r1, r0, 0x400020"},
+		{Inst{Op: NOP}, "nop"},
+		{Inst{Op: JR, Rs1: RA}, "jr ra"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestAllOpsHaveNames(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		s := op.String()
+		if strings.HasPrefix(s, "op?") {
+			t.Errorf("op %d has no name", op)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package mdp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectiveThreeStrikes(t *testing.T) {
+	s := NewSelective(DefaultTable())
+	pc := uint32(0x400100)
+	for i := 0; i < 2; i++ {
+		s.RecordViolation(pc, int64(i))
+		if s.Predict(pc, int64(i)) {
+			t.Fatalf("predicted after %d violations; threshold is 3", i+1)
+		}
+	}
+	s.RecordViolation(pc, 2)
+	if !s.Predict(pc, 3) {
+		t.Fatal("should predict after 3 violations")
+	}
+	if s.Predict(0x400200, 3) {
+		t.Fatal("unrelated PC should not be predicted")
+	}
+}
+
+func TestSelectiveFlushResets(t *testing.T) {
+	cfg := DefaultTable()
+	cfg.FlushInterval = 100
+	s := NewSelective(cfg)
+	pc := uint32(0x400100)
+	for i := 0; i < 3; i++ {
+		s.RecordViolation(pc, 10)
+	}
+	if !s.Predict(pc, 50) {
+		t.Fatal("should predict before flush")
+	}
+	if s.Predict(pc, 150) {
+		t.Fatal("flush should clear the prediction")
+	}
+	if s.Flushes() != 1 {
+		t.Errorf("flushes = %d, want 1", s.Flushes())
+	}
+}
+
+func TestStoreBarrierThreeStrikes(t *testing.T) {
+	s := NewStoreBarrier(DefaultTable())
+	pc := uint32(0x400300)
+	s.RecordViolation(pc, 0)
+	s.RecordViolation(pc, 1)
+	if s.Predict(pc, 2) {
+		t.Fatal("2 violations should not predict")
+	}
+	s.RecordViolation(pc, 2)
+	if !s.Predict(pc, 3) {
+		t.Fatal("3 violations should predict")
+	}
+	if s.Positives != 1 || s.Predictions != 2 {
+		t.Errorf("counters: positives=%d predictions=%d", s.Positives, s.Predictions)
+	}
+}
+
+func TestConfidenceSaturates(t *testing.T) {
+	var c confidence
+	for i := 0; i < 10; i++ {
+		c.bump()
+	}
+	if c.count != 3 {
+		t.Errorf("count = %d, want saturation at 3", c.count)
+	}
+}
+
+func TestMDPTImmediateSynchronization(t *testing.T) {
+	m := NewMDPT(DefaultTable())
+	loadPC, storePC := uint32(0x400100), uint32(0x400200)
+	if _, ok := m.LoadSynonym(loadPC, 0); ok {
+		t.Fatal("cold MDPT should not predict")
+	}
+	// Unlike selective/store-barrier, a single violation allocates and
+	// synchronization is always enforced afterwards.
+	m.RecordViolation(loadPC, storePC, 0)
+	ls, ok1 := m.LoadSynonym(loadPC, 1)
+	ss, ok2 := m.StoreSynonym(storePC, 1)
+	if !ok1 || !ok2 {
+		t.Fatal("both sides should be allocated after one violation")
+	}
+	if ls != ss {
+		t.Errorf("load synonym %#x != store synonym %#x", ls, ss)
+	}
+}
+
+func TestMDPTDistinctPairsDistinctSynonyms(t *testing.T) {
+	m := NewMDPT(DefaultTable())
+	m.RecordViolation(0x400100, 0x400200, 0)
+	m.RecordViolation(0x400300, 0x400400, 0)
+	s1, _ := m.LoadSynonym(0x400100, 1)
+	s2, _ := m.LoadSynonym(0x400300, 1)
+	if s1 == s2 {
+		t.Error("independent dependences should get distinct synonyms")
+	}
+}
+
+func TestMDPTFlush(t *testing.T) {
+	cfg := DefaultTable()
+	cfg.FlushInterval = 1000
+	m := NewMDPT(cfg)
+	m.RecordViolation(0x400100, 0x400200, 0)
+	if _, ok := m.LoadSynonym(0x400100, 1500); ok {
+		t.Error("load side should flush")
+	}
+	if _, ok := m.StoreSynonym(0x400200, 1500); ok {
+		t.Error("store side should flush")
+	}
+}
+
+func TestMDPTLoadWithMultipleStores(t *testing.T) {
+	// A load that violates against two different stores keeps the most
+	// recent synonym (single entry per load PC).
+	m := NewMDPT(DefaultTable())
+	m.RecordViolation(0x400100, 0x400200, 0)
+	m.RecordViolation(0x400100, 0x400300, 1)
+	ls, _ := m.LoadSynonym(0x400100, 2)
+	ss, _ := m.StoreSynonym(0x400300, 2)
+	if ls != ss {
+		t.Error("load should synchronize with the latest violating store")
+	}
+	// The first store's entry still exists (separate entries per store).
+	if _, ok := m.StoreSynonym(0x400200, 2); !ok {
+		t.Error("earlier store entry should persist")
+	}
+}
+
+func TestStoreSetsAssignmentRules(t *testing.T) {
+	s := NewStoreSets(DefaultTable())
+	// Rule 1: neither assigned -> both get a fresh common set.
+	s.RecordViolation(0x100, 0x200, 0)
+	l1, ok1 := s.SSID(0x100, 1)
+	s1, ok2 := s.SSID(0x200, 1)
+	if !ok1 || !ok2 || l1 != s1 {
+		t.Fatal("rule 1 failed")
+	}
+	// Rule 2: load assigned, store not -> store joins load's set.
+	s.RecordViolation(0x100, 0x300, 2)
+	s2, ok := s.SSID(0x300, 3)
+	if !ok || s2 != l1 {
+		t.Fatal("rule 2 failed")
+	}
+	// Rule 3: store assigned, load not -> load joins store's set.
+	s.RecordViolation(0x400, 0x300, 4)
+	l2, ok := s.SSID(0x400, 5)
+	if !ok || l2 != s2 {
+		t.Fatal("rule 3 failed")
+	}
+	// Rule 4: both assigned to different sets -> merged to the smaller ID.
+	s.RecordViolation(0x500, 0x600, 6) // new set, ID 2
+	before, _ := s.SSID(0x500, 7)
+	s.RecordViolation(0x500, 0x300, 8) // 0x500 (set 2) vs 0x300 (set 1)
+	after, _ := s.SSID(0x500, 9)
+	other, _ := s.SSID(0x300, 9)
+	if after != other {
+		t.Fatal("rule 4: sets should merge")
+	}
+	if after > before {
+		t.Error("rule 4: merge should keep the smaller ID")
+	}
+	if s.Merges != 1 {
+		t.Errorf("merges = %d, want 1", s.Merges)
+	}
+}
+
+func TestTableLRUWithinSet(t *testing.T) {
+	cfg := TableConfig{Entries: 4, Assoc: 2} // 2 sets
+	tb := newTable[int](cfg)
+	// PCs mapping to set 0: (pc>>2)&1 == 0.
+	pcA, pcB, pcC := uint32(0x0), uint32(0x10), uint32(0x20)
+	e, _ := tb.put(pcA, 0)
+	e.val = 1
+	e, _ = tb.put(pcB, 1)
+	e.val = 2
+	tb.get(pcA, 2) // touch A so B is LRU
+	e, _ = tb.put(pcC, 3)
+	e.val = 3
+	if tb.get(pcB, 4) != nil {
+		t.Error("B should have been evicted")
+	}
+	if got := tb.get(pcA, 5); got == nil || got.val != 1 {
+		t.Error("A should survive")
+	}
+}
+
+func TestTablePutIdempotent(t *testing.T) {
+	tb := newTable[int](TableConfig{Entries: 8, Assoc: 2})
+	e1, existed := tb.put(0x40, 0)
+	if existed {
+		t.Fatal("first put should allocate")
+	}
+	e1.val = 7
+	e2, existed := tb.put(0x40, 1)
+	if !existed || e2.val != 7 {
+		t.Fatal("second put should find the same entry")
+	}
+}
+
+func TestTableNeverPanicsProperty(t *testing.T) {
+	tb := newTable[uint32](TableConfig{Entries: 64, Assoc: 2, FlushInterval: 500})
+	cycle := int64(0)
+	f := func(pc uint32, adv uint8, write bool) bool {
+		cycle += int64(adv)
+		if write {
+			e, _ := tb.put(pc, cycle)
+			e.val = pc
+			return true
+		}
+		e := tb.get(pc, cycle)
+		return e == nil || e.val == e.tag
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,205 @@
+package mdp
+
+// violationThreshold is how many misspeculations a specific load or
+// store accumulates before a dependence is predicted (paper §3.5: "It
+// takes 3 miss-speculations ... before the existence of a dependence is
+// predicted"). The counters are 2-bit saturating.
+const violationThreshold = 3
+
+type confidence struct {
+	count uint8
+}
+
+func (c *confidence) bump() {
+	if c.count < 3 {
+		c.count++
+	}
+}
+
+func (c *confidence) predicted() bool { return c.count >= violationThreshold }
+
+// Selective is the selective-speculation predictor: it guesses whether a
+// LOAD has a true dependence; predicted-dependent loads are not
+// speculated (they wait for all prior stores to resolve).
+type Selective struct {
+	t *table[confidence]
+	// Predictions and Hits count lookups and positive predictions.
+	Predictions, Positives uint64
+}
+
+// NewSelective returns a selective predictor with cfg.
+func NewSelective(cfg TableConfig) *Selective {
+	return &Selective{t: newTable[confidence](cfg)}
+}
+
+// Predict reports whether the load at loadPC is predicted to have a
+// dependence (and therefore should not be speculated).
+func (s *Selective) Predict(loadPC uint32, cycle int64) bool {
+	s.Predictions++
+	e := s.t.get(loadPC, cycle)
+	pred := e != nil && e.val.predicted()
+	if pred {
+		s.Positives++
+	}
+	return pred
+}
+
+// RecordViolation notes that the load at loadPC misspeculated.
+func (s *Selective) RecordViolation(loadPC uint32, cycle int64) {
+	e, _ := s.t.put(loadPC, cycle)
+	e.val.bump()
+}
+
+// Flushes returns the number of periodic resets performed so far.
+func (s *Selective) Flushes() uint64 { return s.t.Flushes }
+
+// StoreBarrier is the store-barrier predictor: it guesses whether a
+// STORE has dependences that would get violated; if so, all loads
+// following it wait for its address and data.
+type StoreBarrier struct {
+	t                      *table[confidence]
+	Predictions, Positives uint64
+}
+
+// NewStoreBarrier returns a store-barrier predictor with cfg.
+func NewStoreBarrier(cfg TableConfig) *StoreBarrier {
+	return &StoreBarrier{t: newTable[confidence](cfg)}
+}
+
+// Predict reports whether the store at storePC is predicted to be a
+// barrier (later loads must wait for it).
+func (s *StoreBarrier) Predict(storePC uint32, cycle int64) bool {
+	s.Predictions++
+	e := s.t.get(storePC, cycle)
+	pred := e != nil && e.val.predicted()
+	if pred {
+		s.Positives++
+	}
+	return pred
+}
+
+// RecordViolation notes that the store at storePC had a dependence
+// violated by some speculative load.
+func (s *StoreBarrier) RecordViolation(storePC uint32, cycle int64) {
+	e, _ := s.t.put(storePC, cycle)
+	e.val.bump()
+}
+
+// Flushes returns the number of periodic resets performed so far.
+func (s *StoreBarrier) Flushes() uint64 { return s.t.Flushes }
+
+// MDPT is the memory dependence prediction table used by
+// speculation/synchronization (§3.6). Separate entries are allocated for
+// loads and stores; a dependence is represented by a synonym (a level of
+// indirection). There is no confidence mechanism: once allocated,
+// synchronization is always enforced, and the whole table is flushed
+// every FlushInterval cycles to shed stale dependences.
+type MDPT struct {
+	loads  *table[uint32]
+	stores *table[uint32]
+	// Violations counts RecordViolation calls (MDPT allocations).
+	Violations uint64
+}
+
+// NewMDPT returns an MDPT with cfg (applied to each of the load and
+// store sides, matching the paper's "separate entries ... for stores and
+// loads" in one 4K 2-way table).
+func NewMDPT(cfg TableConfig) *MDPT {
+	half := cfg
+	half.Entries = cfg.Entries / 2
+	if half.Entries < half.Assoc {
+		half.Entries = half.Assoc
+	}
+	return &MDPT{loads: newTable[uint32](half), stores: newTable[uint32](half)}
+}
+
+// RecordViolation allocates (or refreshes) the dependence (loadPC,
+// storePC) using the store PC as the synonym.
+func (m *MDPT) RecordViolation(loadPC, storePC uint32, cycle int64) {
+	m.Violations++
+	le, _ := m.loads.put(loadPC, cycle)
+	le.val = synonymOf(storePC)
+	se, _ := m.stores.put(storePC, cycle)
+	se.val = synonymOf(storePC)
+}
+
+// LoadSynonym returns the synonym the load at loadPC should synchronize
+// on, if a dependence is predicted.
+func (m *MDPT) LoadSynonym(loadPC uint32, cycle int64) (uint32, bool) {
+	if e := m.loads.get(loadPC, cycle); e != nil {
+		return e.val, true
+	}
+	return 0, false
+}
+
+// StoreSynonym returns the synonym the store at storePC produces, if it
+// is a predicted dependence source.
+func (m *MDPT) StoreSynonym(storePC uint32, cycle int64) (uint32, bool) {
+	if e := m.stores.get(storePC, cycle); e != nil {
+		return e.val, true
+	}
+	return 0, false
+}
+
+// synonymOf maps a store PC to its synonym. Using the PC itself keeps
+// synonyms unique per static store while remaining a pure level of
+// indirection (the consumers never interpret it as an address).
+func synonymOf(storePC uint32) uint32 { return storePC }
+
+// StoreSets is the store-set predictor of Chrysos & Emer (reference [4]
+// in the paper), provided as an extension for the ablation experiments.
+// The SSIT maps PCs (of both loads and stores) to store-set IDs; the
+// core synchronizes a load against the most recent in-window store
+// sharing its SSID (an idealized LFST).
+type StoreSets struct {
+	ssit   *table[uint32]
+	nextID uint32
+	// Merges counts set-merge events (both PCs already had sets).
+	Merges uint64
+}
+
+// NewStoreSets returns a store-set predictor with cfg.
+func NewStoreSets(cfg TableConfig) *StoreSets {
+	return &StoreSets{ssit: newTable[uint32](cfg)}
+}
+
+// RecordViolation applies the store-set assignment rules to the violating
+// (load, store) pair.
+func (s *StoreSets) RecordViolation(loadPC, storePC uint32, cycle int64) {
+	le := s.ssit.get(loadPC, cycle)
+	se := s.ssit.get(storePC, cycle)
+	switch {
+	case le == nil && se == nil:
+		s.nextID++
+		id := s.nextID
+		e1, _ := s.ssit.put(loadPC, cycle)
+		e1.val = id
+		e2, _ := s.ssit.put(storePC, cycle)
+		e2.val = id
+	case le == nil:
+		e, _ := s.ssit.put(loadPC, cycle)
+		e.val = se.val
+	case se == nil:
+		e, _ := s.ssit.put(storePC, cycle)
+		e.val = le.val
+	default:
+		// Both assigned: the smaller ID wins ("declare winner" rule).
+		if le.val != se.val {
+			s.Merges++
+			id := le.val
+			if se.val < id {
+				id = se.val
+			}
+			le.val = id
+			se.val = id
+		}
+	}
+}
+
+// SSID returns the store-set ID of the instruction at pc, if assigned.
+func (s *StoreSets) SSID(pc uint32, cycle int64) (uint32, bool) {
+	if e := s.ssit.get(pc, cycle); e != nil {
+		return e.val, true
+	}
+	return 0, false
+}

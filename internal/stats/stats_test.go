@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDerivedMetrics(t *testing.T) {
+	r := Run{
+		Cycles: 1000, Committed: 2500,
+		CommittedLoads: 500, Misspeculations: 5,
+		FalseDepLoads: 100, FalseDepDelay: 1500,
+		Branches: 200, BranchMispredicts: 10,
+	}
+	if got := r.IPC(); got != 2.5 {
+		t.Errorf("IPC = %v", got)
+	}
+	if got := r.MisspecRate(); got != 0.01 {
+		t.Errorf("misspec = %v", got)
+	}
+	if got := r.FalseDepRate(); got != 0.2 {
+		t.Errorf("FD = %v", got)
+	}
+	if got := r.FalseDepLatency(); got != 15 {
+		t.Errorf("RL = %v", got)
+	}
+	if got := r.BranchMissRate(); got != 0.05 {
+		t.Errorf("bmiss = %v", got)
+	}
+}
+
+func TestZeroDenominators(t *testing.T) {
+	var r Run
+	if r.IPC() != 0 || r.MisspecRate() != 0 || r.FalseDepRate() != 0 ||
+		r.FalseDepLatency() != 0 || r.BranchMissRate() != 0 {
+		t.Error("zero-value Run should produce zero metrics, not NaN")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	a := Run{Cycles: 100, Committed: 300}
+	b := Run{Cycles: 100, Committed: 200}
+	if got := a.Speedup(&b); got != 1.5 {
+		t.Errorf("speedup = %v", got)
+	}
+	var zero Run
+	if got := a.Speedup(&zero); got != 0 {
+		t.Errorf("speedup over zero base = %v", got)
+	}
+}
+
+func TestMeanAndGeoMean(t *testing.T) {
+	if Mean(nil) != 0 || GeoMean(nil) != 0 {
+		t.Error("empty means should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("geomean = %v", got)
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("GeoMean should panic on non-positive input")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestGeoMeanLeqMeanProperty(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.Add("beta", "2")
+	tb.Add("alpha", "1")
+	out := tb.String()
+	if !strings.Contains(out, "name") || !strings.Contains(out, "beta") {
+		t.Fatalf("missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Error("second line should be the rule")
+	}
+	tb.SortRows()
+	if tb.Rows[0][0] != "alpha" {
+		t.Error("SortRows should order by first column")
+	}
+}
+
+func TestRunString(t *testing.T) {
+	r := Run{Config: "NAS/SYNC", Workload: "126.gcc", Cycles: 10, Committed: 25}
+	s := r.String()
+	if !strings.Contains(s, "NAS/SYNC") || !strings.Contains(s, "126.gcc") ||
+		!strings.Contains(s, "2.500") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"mdspec/internal/isa"
+	"mdspec/internal/prog"
+)
+
+// KernelRecurrence builds the paper's Figure 7 loop: a[i] = a[i-1] + 1,
+// a loop-carried memory dependence at a distance of a few instructions.
+// With iters <= 0 the loop runs forever (for budget-driven timing runs).
+func KernelRecurrence(iters int64) *prog.Program {
+	b := prog.NewBuilder()
+	arr := b.AllocInit(1)
+	b.Li(isa.R1, int64(arr))
+	b.Li(isa.R5, iters)
+	b.Label("loop")
+	b.Lw(isa.R2, isa.R1, 0)              // load a[i-1]
+	b.Addi(isa.R2, isa.R2, 1)            // compute a[i]
+	b.Sw(isa.R2, isa.R1, prog.WordBytes) // store a[i]
+	b.Addi(isa.R1, isa.R1, prog.WordBytes)
+	if iters > 0 {
+		b.Addi(isa.R5, isa.R5, -1)
+		b.Bne(isa.R5, isa.R0, "loop")
+		b.Halt()
+	} else {
+		// Wrap the pointer within a 32K-word ring and loop forever.
+		b.Andi(isa.R1, isa.R1, (1<<18)-1)
+		b.OpI(isa.ORI, isa.R1, isa.R1, int64(arr))
+		b.J("loop")
+	}
+	return b.MustProgram()
+}
+
+// KernelTaskBoundary builds the §3.7 demonstration workload: the loop
+// body is exactly taskInsts instructions, storing a global at the end of
+// each iteration and loading it at the start of the next. When taskInsts
+// equals a split-window task size, the store always sits at the end of
+// one unit's task and the dependent load at the start of the next
+// unit's, so split-window fetch reverses their address-calculation order.
+func KernelTaskBoundary(taskInsts int, iters int64) *prog.Program {
+	if taskInsts < 12 {
+		panic("workload: task body too small")
+	}
+	b := prog.NewBuilder()
+	g := b.AllocInit(5)
+	b.Li(isa.R9, int64(g))
+	b.Li(isa.R5, iters)
+	b.Li(isa.R7, 3)
+	for i := 3; i < taskInsts; i++ {
+		b.Nop() // align the loop body to a task boundary
+	}
+	b.Label("loop")
+	b.Lw(isa.R3, isa.R9, 0)       // body[0]: load the global immediately
+	b.Add(isa.R4, isa.R3, isa.R7) // body[1]: propagate the loaded value
+	for i := 2; i < taskInsts-5; i++ {
+		b.Addi(isa.R10, isa.R10, 1) // independent filler
+	}
+	b.Add(isa.R2, isa.R4, isa.R5) // changing store value
+	b.Sw(isa.R2, isa.R9, 0)       // store at the task's end
+	b.Addi(isa.R5, isa.R5, -1)
+	b.Nop() // keep the taken-branch body exactly taskInsts long
+	b.Bne(isa.R5, isa.R0, "loop")
+	b.Halt()
+	return b.MustProgram()
+}
+
+// KernelStream builds a pure streaming loop (loads from one array,
+// stores to another, no true memory dependences): the best case for
+// memory dependence speculation and the worst case for NAS/NO.
+func KernelStream(iters int64) *prog.Program {
+	b := prog.NewBuilder()
+	src := b.AllocAligned(8192, 8192*prog.WordBytes)
+	dst := b.AllocAligned(8192, 8192*prog.WordBytes)
+	for i := 0; i < 1024; i++ {
+		b.SetData(src+uint32(i*prog.WordBytes), int64(i*7))
+	}
+	b.Li(isa.R1, int64(src))
+	b.Li(isa.R2, int64(dst))
+	b.Li(isa.R5, iters)
+	b.Li(isa.R7, 3)
+	b.Label("loop")
+	b.Lw(isa.R3, isa.R1, 0)
+	b.Lw(isa.R4, isa.R1, 8)
+	b.Mult(isa.R3, isa.R7)
+	b.Mflo(isa.R6)
+	b.Add(isa.R6, isa.R6, isa.R4)
+	b.Sw(isa.R6, isa.R2, 0)
+	b.Addi(isa.R1, isa.R1, 16)
+	b.Andi(isa.R1, isa.R1, 8192*prog.WordBytes-1)
+	b.OpI(isa.ORI, isa.R1, isa.R1, int64(src))
+	b.Addi(isa.R2, isa.R2, 8)
+	b.Andi(isa.R2, isa.R2, 8192*prog.WordBytes-1)
+	b.OpI(isa.ORI, isa.R2, isa.R2, int64(dst))
+	if iters > 0 {
+		b.Addi(isa.R5, isa.R5, -1)
+		b.Bne(isa.R5, isa.R0, "loop")
+		b.Halt()
+	} else {
+		b.J("loop")
+	}
+	return b.MustProgram()
+}
+
+// KernelPointerChase builds a linked-list traversal over a shuffled
+// cyclic list with occasional stores into the visited nodes' payload —
+// the li/gcc-style pattern where load addresses depend on loads.
+func KernelPointerChase(nodes int, iters int64) *prog.Program {
+	if nodes < 4 {
+		panic("workload: need at least 4 nodes")
+	}
+	b := prog.NewBuilder()
+	// Each node is [next, payload].
+	arena := b.Alloc(nodes * 2)
+	r := newRng(uint64(nodes)*31 + 7)
+	perm := make([]int, nodes)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := nodes - 1; i > 1; i-- {
+		j := 1 + r.intn(i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	nodeAddr := func(i int) uint32 { return arena + uint32(i*2*prog.WordBytes) }
+	for i := 0; i < nodes; i++ {
+		b.SetData(nodeAddr(perm[i]), int64(nodeAddr(perm[(i+1)%nodes])))
+		b.SetData(nodeAddr(perm[i])+prog.WordBytes, int64(i))
+	}
+	b.Li(isa.R1, int64(nodeAddr(0)))
+	b.Li(isa.R5, iters)
+	b.Label("loop")
+	b.Lw(isa.R2, isa.R1, prog.WordBytes) // payload
+	b.Addi(isa.R2, isa.R2, 1)
+	b.Sw(isa.R2, isa.R1, prog.WordBytes) // update payload (reloaded next lap)
+	b.Lw(isa.R1, isa.R1, 0)              // chase next
+	if iters > 0 {
+		b.Addi(isa.R5, isa.R5, -1)
+		b.Bne(isa.R5, isa.R0, "loop")
+		b.Halt()
+	} else {
+		b.J("loop")
+	}
+	return b.MustProgram()
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+
+	"mdspec/internal/emu"
+	"mdspec/internal/isa"
+	"mdspec/internal/prog"
+)
+
+// Mix summarizes the dynamic instruction mix of a workload — the analog
+// of the paper's Table 1 plus the dependence statistics the paper's
+// arguments rest on.
+type Mix struct {
+	Insts    int64
+	Loads    int64
+	Stores   int64
+	Branches int64 // conditional branches only
+	Calls    int64
+	FPOps    int64
+
+	// NearDepLoads counts loads whose producing store is within
+	// windowDist dynamic instructions (the loads an in-window speculator
+	// can violate).
+	NearDepLoads int64
+	// PointerLoads counts loads whose base register was itself written
+	// by a load (address chasing).
+	PointerLoads int64
+}
+
+// LoadFrac returns the dynamic load fraction.
+func (m Mix) LoadFrac() float64 { return frac(m.Loads, m.Insts) }
+
+// StoreFrac returns the dynamic store fraction.
+func (m Mix) StoreFrac() float64 { return frac(m.Stores, m.Insts) }
+
+// BranchFrac returns the conditional-branch fraction.
+func (m Mix) BranchFrac() float64 { return frac(m.Branches, m.Insts) }
+
+// NearDepFrac returns the fraction of loads with a near (in-window)
+// producing store.
+func (m Mix) NearDepFrac() float64 { return frac(m.NearDepLoads, m.Loads) }
+
+func frac(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// String renders the mix like a Table 1 row.
+func (m Mix) String() string {
+	return fmt.Sprintf("insts=%d loads=%.1f%% stores=%.1f%% cond-branches=%.1f%% near-dep-loads=%.1f%%",
+		m.Insts, 100*m.LoadFrac(), 100*m.StoreFrac(), 100*m.BranchFrac(), 100*m.NearDepFrac())
+}
+
+// windowDist is the dependence distance treated as "in window" by
+// Measure (the paper's default window size).
+const windowDist = 128
+
+// Measure executes p functionally for n dynamic instructions and
+// returns its mix.
+func Measure(p *prog.Program, n int64) Mix {
+	m := emu.New(p)
+	var mix Mix
+	var d emu.DynInst
+	// Track which sequence numbers were loads, for pointer detection.
+	loadSeqs := make(map[int64]bool)
+	for mix.Insts < n && m.Step(&d) {
+		mix.Insts++
+		op := d.Inst.Op
+		switch {
+		case op.IsLoad():
+			mix.Loads++
+			if d.ProducerSeq >= 0 && d.Seq-d.ProducerSeq <= windowDist {
+				mix.NearDepLoads++
+			}
+			if loadSeqs[d.Dep1Seq] {
+				mix.PointerLoads++
+			}
+			loadSeqs[d.Seq] = true
+		case op.IsStore():
+			mix.Stores++
+		case op.IsCondBranch():
+			mix.Branches++
+		}
+		if op == isa.JAL {
+			mix.Calls++
+		}
+		switch op.Class() {
+		case isa.ClassFPAdd, isa.ClassFPMulS, isa.ClassFPMulD, isa.ClassFPDivS, isa.ClassFPDivD:
+			mix.FPOps++
+		}
+		if mix.Insts%4096 == 0 {
+			// Bound the pointer-tracking map.
+			for s := range loadSeqs {
+				if d.Seq-s > windowDist*4 {
+					delete(loadSeqs, s)
+				}
+			}
+		}
+	}
+	return mix
+}
