@@ -7,6 +7,7 @@ package mdspec
 // cmd/mdexp for the full paper-style tables at larger budgets.
 
 import (
+	"context"
 	"testing"
 
 	"mdspec/internal/config"
@@ -21,6 +22,9 @@ import (
 // experiment benchmarks; large enough for stable shapes, small enough to
 // keep -bench=. pleasant.
 const benchInsts = 20_000
+
+// bg is the context for benchmark sweeps (never canceled).
+var bg = context.Background()
 
 func benchRunner() *experiments.Runner {
 	return experiments.NewRunner(experiments.Options{Insts: benchInsts})
@@ -43,7 +47,7 @@ func intFPMeans(b *testing.B, metric func(bench string) float64) (float64, float
 func BenchmarkFigure1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		rows, err := experiments.Figure1(r)
+		rows, err := experiments.Figure1(bg, r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -58,7 +62,7 @@ func BenchmarkFigure1(b *testing.B) {
 // resolution latency under the 128-entry NAS/NO machine.
 func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table3(benchRunner())
+		rows, err := experiments.Table3(bg, benchRunner())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -76,7 +80,7 @@ func BenchmarkTable3(b *testing.B) {
 // NAS/NAV.
 func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure2(benchRunner())
+		rows, err := experiments.Figure2(bg, benchRunner())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -91,7 +95,7 @@ func BenchmarkFigure2(b *testing.B) {
 // scheduler latencies 0, 1, 2.
 func BenchmarkFigure3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure3(benchRunner())
+		rows, err := experiments.Figure3(bg, benchRunner())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -109,7 +113,7 @@ func BenchmarkFigure3(b *testing.B) {
 // AS/NAV(0/1/2) relative to 0-cycle AS/NO.
 func BenchmarkFigure4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure4(benchRunner())
+		rows, err := experiments.Figure4(bg, benchRunner())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -127,7 +131,7 @@ func BenchmarkFigure4(b *testing.B) {
 // store-barrier speculation relative to naive.
 func BenchmarkFigure5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure5(benchRunner())
+		rows, err := experiments.Figure5(bg, benchRunner())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,7 +149,7 @@ func BenchmarkFigure5(b *testing.B) {
 // synchronization relative to naive speculation.
 func BenchmarkFigure6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure6(benchRunner())
+		rows, err := experiments.Figure6(bg, benchRunner())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -160,7 +164,7 @@ func BenchmarkFigure6(b *testing.B) {
 // and SYNC.
 func BenchmarkTable4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure6(benchRunner())
+		rows, err := experiments.Figure6(bg, benchRunner())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -177,7 +181,7 @@ func BenchmarkTable4(b *testing.B) {
 // BenchmarkFigure7 regenerates the §3.7 split-vs-continuous comparison.
 func BenchmarkFigure7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure7(benchRunner())
+		rows, err := experiments.Figure7(bg, benchRunner())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -194,7 +198,7 @@ func BenchmarkFigure7(b *testing.B) {
 // BenchmarkSummary regenerates the §4 average-speedup findings.
 func BenchmarkSummary(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Summary(benchRunner())
+		rows, err := experiments.Summary(bg, benchRunner())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -214,7 +218,7 @@ func BenchmarkSummary(b *testing.B) {
 // BenchmarkAblationMDPTSize sweeps the MDPT capacity for NAS/SYNC.
 func BenchmarkAblationMDPTSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationMDPTSize(benchRunner())
+		rows, err := experiments.AblationMDPTSize(bg, benchRunner())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -235,7 +239,7 @@ func BenchmarkAblationMDPTSize(b *testing.B) {
 // BenchmarkAblationFlush sweeps the MDPT flush interval.
 func BenchmarkAblationFlush(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationFlush(benchRunner())
+		rows, err := experiments.AblationFlush(bg, benchRunner())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -257,7 +261,7 @@ func BenchmarkAblationFlush(b *testing.B) {
 // that load/store parallelism matters more as the window grows).
 func BenchmarkAblationWindow(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationWindow(benchRunner())
+		rows, err := experiments.AblationWindow(bg, benchRunner())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -274,7 +278,7 @@ func BenchmarkAblationWindow(b *testing.B) {
 // paper's MDPT.
 func BenchmarkAblationStoreSets(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationStoreSets(benchRunner())
+		rows, err := experiments.AblationStoreSets(bg, benchRunner())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -291,7 +295,7 @@ func BenchmarkAblationStoreSets(b *testing.B) {
 // BenchmarkAblationRecovery compares squash vs selective invalidation.
 func BenchmarkAblationRecovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationRecovery(benchRunner())
+		rows, err := experiments.AblationRecovery(bg, benchRunner())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -308,7 +312,7 @@ func BenchmarkAblationRecovery(b *testing.B) {
 // BenchmarkAblationBPred sweeps the branch predictor kinds.
 func BenchmarkAblationBPred(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationBPred(benchRunner())
+		rows, err := experiments.AblationBPred(bg, benchRunner())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -2,160 +2,230 @@
 //
 // Usage:
 //
-//	mdexp [-n insts] [-bench list] [-par N] <experiment>...
+//	mdexp [-n insts] [-bench list] [-par N] [-json|-csv] [-out file] [-quiet] <experiment>...
 //
-// Experiments: fig1 table3 fig2 fig3 fig4 fig5 fig6 table4 fig7 summary
-// abl-mdpt abl-flush abl-window abl-storesets all
+// Flags and experiment names may be interleaved, so
+// "mdexp -json -out results.json all -n 20000 -bench 126.gcc" works.
+// The experiment list is defined by the registry below (run with no
+// arguments to see it; it always matches what this binary supports):
+// fig1 table3 fig2 fig3 fig4 fig5 fig6 table4 fig7 summary abl-mdpt
+// abl-flush abl-window abl-storesets abl-recovery abl-bpred, or "all".
+//
+// A live progress line (jobs finished/started, cache hits, elapsed
+// time) is written to stderr while sweeps run; -quiet suppresses it.
+// SIGINT/SIGTERM cancel the sweep cleanly: in-flight simulations
+// finish, queued ones are abandoned, and any artifact requested with
+// -out is still written with the completed runs.
+//
+// With -json, a machine-readable Results envelope (typed rows per
+// experiment plus one provenance-carrying record per simulation) is
+// written to -out, or to stdout when -out is empty (suppressing the
+// text tables). With -csv, the per-run records are written as flat CSV
+// instead. See README.md for the artifact schema.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"mdspec/internal/experiments"
+	"mdspec/internal/workload"
 )
 
-var order = []string{"fig1", "table3", "fig2", "fig3", "fig4", "fig5", "fig6",
-	"table4", "fig7", "summary", "abl-mdpt", "abl-flush", "abl-window",
-	"abl-storesets", "abl-recovery", "abl-bpred"}
+// experiment binds a CLI name to a generator and its renderer; the
+// usage text and the "all" order are derived from this registry, so the
+// supported list cannot drift from the implementation.
+type experiment struct {
+	name string
+	run  func(context.Context, *experiments.Runner) (rows any, text string, err error)
+}
+
+// exp adapts a typed (generator, renderer) pair to the registry shape.
+func exp[T any](name string, gen func(context.Context, *experiments.Runner) ([]T, error), render func([]T) string) experiment {
+	return experiment{name, func(ctx context.Context, r *experiments.Runner) (any, string, error) {
+		rows, err := gen(ctx, r)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, render(rows), nil
+	}}
+}
+
+var registry = []experiment{
+	exp("fig1", experiments.Figure1, experiments.RenderFigure1),
+	exp("table3", experiments.Table3, experiments.RenderTable3),
+	exp("fig2", experiments.Figure2, experiments.RenderFigure2),
+	exp("fig3", experiments.Figure3, experiments.RenderFigure3),
+	exp("fig4", experiments.Figure4, experiments.RenderFigure4),
+	exp("fig5", experiments.Figure5, experiments.RenderFigure5),
+	exp("fig6", experiments.Figure6, experiments.RenderFigure6),
+	exp("table4", experiments.Figure6, experiments.RenderTable4),
+	exp("fig7", experiments.Figure7, experiments.RenderFigure7),
+	exp("summary", experiments.Summary, experiments.RenderSummary),
+	exp("abl-mdpt", experiments.AblationMDPTSize, experiments.RenderMDPTSize),
+	exp("abl-flush", experiments.AblationFlush, experiments.RenderFlush),
+	exp("abl-window", experiments.AblationWindow, experiments.RenderWindow),
+	exp("abl-storesets", experiments.AblationStoreSets, experiments.RenderStoreSets),
+	exp("abl-recovery", experiments.AblationRecovery, experiments.RenderRecovery),
+	exp("abl-bpred", experiments.AblationBPred, experiments.RenderBPred),
+}
+
+func names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.name
+	}
+	return out
+}
+
+func lookup(name string) (experiment, bool) {
+	for _, e := range registry {
+		if e.name == name {
+			return e, true
+		}
+	}
+	return experiment{}, false
+}
 
 func main() {
 	insts := flag.Int64("n", 150_000, "committed instructions per (benchmark, config) run")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all 18)")
 	par := flag.Int("par", 0, "max concurrent simulations (default: GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "write a JSON results artifact (to -out, or stdout)")
+	csvOut := flag.Bool("csv", false, "write per-run records as CSV (to -out, or stdout)")
+	outPath := flag.String("out", "", "artifact destination file (with -json/-csv; default stdout)")
+	quiet := flag.Bool("quiet", false, "suppress the live stderr progress line")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mdexp [flags] <experiment>...\nexperiments: %s all\n", strings.Join(order, " "))
+		fmt.Fprintf(os.Stderr, "usage: mdexp [flags] <experiment>...\nexperiments: %s all\n",
+			strings.Join(names(), " "))
 		flag.PrintDefaults()
 	}
-	flag.Parse()
 
-	names := flag.Args()
-	if len(names) == 0 {
+	// The standard flag package stops at the first positional argument;
+	// re-parse the remainder so flags and experiment names interleave
+	// ("mdexp all -n 20000 -bench 126.gcc").
+	var expNames []string
+	args := os.Args[1:]
+	for len(args) > 0 {
+		if err := flag.CommandLine.Parse(args); err != nil {
+			os.Exit(2)
+		}
+		args = flag.CommandLine.Args()
+		if len(args) > 0 {
+			expNames = append(expNames, args[0])
+			args = args[1:]
+		}
+	}
+	if len(expNames) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *jsonOut && *csvOut {
+		fatal(errors.New("-json and -csv are mutually exclusive"))
+	}
+	if len(expNames) == 1 && expNames[0] == "all" {
+		expNames = names()
+	}
+	for _, name := range expNames {
+		if _, ok := lookup(name); !ok {
+			fatal(fmt.Errorf("unknown experiment %q (have: %s all)", name, strings.Join(names(), " ")))
+		}
+	}
+
 	opt := experiments.Options{Insts: *insts, Parallel: *par}
 	if *benchList != "" {
-		opt.Benchmarks = strings.Split(*benchList, ",")
+		benches, err := workload.ParseNames(*benchList)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Benchmarks = benches
+	}
+	var progress *experiments.Progress
+	if !*quiet {
+		progress = experiments.NewProgress(os.Stderr)
+		opt.Hooks = progress.Hooks()
 	}
 	runner := experiments.NewRunner(opt)
+	results := experiments.NewResults("mdexp", runner.Options())
 
-	if len(names) == 1 && names[0] == "all" {
-		names = order
-	}
-	for _, name := range names {
+	// Artifacts aimed at stdout own it; keep the human tables off it.
+	artifactToStdout := (*jsonOut || *csvOut) && *outPath == ""
+	printTables := !artifactToStdout
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var runErr error
+	for _, name := range expNames {
+		e, _ := lookup(name)
 		start := time.Now()
-		out, err := run(runner, name)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mdexp: %s: %v\n", name, err)
-			os.Exit(1)
+		rows, text, err := e.run(ctx, runner)
+		elapsed := time.Since(start)
+		if progress != nil {
+			progress.Done()
 		}
-		fmt.Println(out)
-		fmt.Printf("[%s took %.1fs]\n\n", name, time.Since(start).Seconds())
+		if err != nil {
+			runErr = fmt.Errorf("%s: %w", name, err)
+			break
+		}
+		results.AddExperiment(name, rows, elapsed)
+		if printTables {
+			fmt.Println(text)
+			fmt.Printf("[%s took %.1fs]\n\n", name, elapsed.Seconds())
+		}
+	}
+	if progress != nil {
+		progress.Done()
+	}
+
+	if *jsonOut || *csvOut {
+		results.Attach(runner)
+		if err := writeArtifact(results, *jsonOut, *outPath); err != nil {
+			fatal(err)
+		}
+		if *outPath != "" {
+			fmt.Fprintf(os.Stderr, "mdexp: wrote %s\n", *outPath)
+		}
+	}
+	if runErr != nil {
+		if errors.Is(runErr, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "mdexp: interrupted")
+			os.Exit(130)
+		}
+		fatal(runErr)
 	}
 }
 
-func run(r *experiments.Runner, name string) (string, error) {
-	switch name {
-	case "fig1":
-		rows, err := experiments.Figure1(r)
-		if err != nil {
-			return "", err
+// writeArtifact writes the envelope as JSON (asJSON) or CSV to path, or
+// to stdout when path is empty.
+func writeArtifact(rs *experiments.Results, asJSON bool, path string) (err error) {
+	w := os.Stdout
+	if path != "" {
+		f, cerr := os.Create(path)
+		if cerr != nil {
+			return cerr
 		}
-		return experiments.RenderFigure1(rows), nil
-	case "table3":
-		rows, err := experiments.Table3(r)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderTable3(rows), nil
-	case "fig2":
-		rows, err := experiments.Figure2(r)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderFigure2(rows), nil
-	case "fig3":
-		rows, err := experiments.Figure3(r)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderFigure3(rows), nil
-	case "fig4":
-		rows, err := experiments.Figure4(r)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderFigure4(rows), nil
-	case "fig5":
-		rows, err := experiments.Figure5(r)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderFigure5(rows), nil
-	case "fig6":
-		rows, err := experiments.Figure6(r)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderFigure6(rows), nil
-	case "table4":
-		rows, err := experiments.Figure6(r)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderTable4(rows), nil
-	case "fig7":
-		rows, err := experiments.Figure7(r)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderFigure7(rows), nil
-	case "summary":
-		rows, err := experiments.Summary(r)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderSummary(rows), nil
-	case "abl-mdpt":
-		rows, err := experiments.AblationMDPTSize(r)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderMDPTSize(rows), nil
-	case "abl-flush":
-		rows, err := experiments.AblationFlush(r)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderFlush(rows), nil
-	case "abl-window":
-		rows, err := experiments.AblationWindow(r)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderWindow(rows), nil
-	case "abl-storesets":
-		rows, err := experiments.AblationStoreSets(r)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderStoreSets(rows), nil
-	case "abl-recovery":
-		rows, err := experiments.AblationRecovery(r)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderRecovery(rows), nil
-	case "abl-bpred":
-		rows, err := experiments.AblationBPred(r)
-		if err != nil {
-			return "", err
-		}
-		return experiments.RenderBPred(rows), nil
+		defer func() {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		w = f
 	}
-	return "", fmt.Errorf("unknown experiment %q", name)
+	if asJSON {
+		return rs.WriteJSON(w)
+	}
+	return rs.WriteCSV(w)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdexp:", err)
+	os.Exit(1)
 }

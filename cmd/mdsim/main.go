@@ -4,17 +4,24 @@
 // Usage:
 //
 //	mdsim [-n insts] [-w bench] [-policy NO|NAV|SEL|STORE|SYNC|ORACLE|SSET]
-//	      [-as] [-aslat N] [-split N] [-window N]
+//	      [-as] [-aslat N] [-split N] [-window N] [-json] [-out file]
+//
+// With -json, a single provenance-carrying run record (config name and
+// hash, instruction budget, wall time, runner version, raw counters) is
+// written to -out or stdout instead of the human-readable report.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mdspec/internal/config"
 	"mdspec/internal/core"
 	"mdspec/internal/emu"
+	"mdspec/internal/experiments"
 	"mdspec/internal/prog"
 	"mdspec/internal/stats"
 	"mdspec/internal/workload"
@@ -32,6 +39,8 @@ func main() {
 	selinv := flag.Bool("selinv", false, "recover with selective invalidation instead of squashing")
 	wrongPath := flag.Bool("wrongpath", false, "model wrong-path instruction fetch during mispredictions")
 	sample := flag.String("sample", "", "sampled simulation as T:F instructions (e.g. 50000:100000)")
+	jsonOut := flag.Bool("json", false, "write a JSON run record instead of the text report")
+	outPath := flag.String("out", "", "destination file for -json (default stdout)")
 	flag.Parse()
 
 	pol, err := config.ParsePolicy(*policy)
@@ -78,6 +87,7 @@ func main() {
 		fatal(err)
 	}
 	var r *stats.Run
+	start := time.Now()
 	if *sample != "" {
 		var tw, fw int64
 		if _, err := fmt.Sscanf(*sample, "%d:%d", &tw, &fw); err != nil {
@@ -89,7 +99,15 @@ func main() {
 	} else if r, err = pl.Run(*n); err != nil {
 		fatal(err)
 	}
+	wall := time.Since(start)
 	r.Workload = *bench
+
+	if *jsonOut {
+		if err := writeRecord(experiments.NewRunRecord(*bench, cfg, *n, wall, r), *outPath); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	fmt.Println(r)
 	fmt.Printf("  committed: %d insts (%d loads, %d stores) in %d cycles -> IPC %.3f\n",
@@ -123,6 +141,27 @@ func buildWorkload(name string) (*prog.Program, error) {
 		return workload.KernelTaskBoundary(32, 1<<30), nil
 	}
 	return workload.Build(name)
+}
+
+// writeRecord writes one provenance-carrying run record as indented
+// JSON to path, or stdout when path is empty.
+func writeRecord(rec experiments.RunRecord, path string) (err error) {
+	w := os.Stdout
+	if path != "" {
+		f, cerr := os.Create(path)
+		if cerr != nil {
+			return cerr
+		}
+		defer func() {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
 }
 
 func missRate(m, a uint64) float64 {

@@ -6,6 +6,7 @@ package config
 
 import (
 	"fmt"
+	"hash/fnv"
 	"strings"
 
 	"mdspec/internal/bpred"
@@ -165,6 +166,17 @@ func (m Machine) Name() string {
 		n = "SPLIT:" + n
 	}
 	return n
+}
+
+// Hash returns a stable 64-bit hex digest over every Machine field.
+// Two configurations hash equal iff they are identical, so artifacts
+// can carry configuration identity beyond the (lossy) paper-style Name:
+// e.g. MDPT-size ablation variants all render as "NAS/SYNC" but hash
+// differently.
+func (m Machine) Hash() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%#v", m)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Default128 is the paper's Table 2 machine: 128-entry window, 8-wide,

@@ -36,6 +36,30 @@ func TestConfigNames(t *testing.T) {
 	}
 }
 
+func TestMachineHash(t *testing.T) {
+	a := Default128().WithPolicy(Sync)
+	b := Default128().WithPolicy(Sync)
+	if a.Hash() != b.Hash() {
+		t.Error("identical configs must hash equal")
+	}
+	if len(a.Hash()) != 16 {
+		t.Errorf("hash %q should be 16 hex chars", a.Hash())
+	}
+	// Name() is lossy (both of these render as "NAS/SYNC"); the hash
+	// must still distinguish them.
+	c := Default128().WithPolicy(Sync)
+	c.PredictorTable.Entries *= 2
+	if a.Name() != c.Name() {
+		t.Fatalf("test premise broken: names differ (%q vs %q)", a.Name(), c.Name())
+	}
+	if a.Hash() == c.Hash() {
+		t.Error("configs differing only in MDPT size must hash differently")
+	}
+	if a.Hash() == Default128().WithPolicy(Naive).Hash() {
+		t.Error("different policies must hash differently")
+	}
+}
+
 func TestDefault128MatchesTable2(t *testing.T) {
 	m := Default128()
 	if m.Window != 128 || m.FetchWidth != 8 || m.IssueWidth != 8 ||

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -32,7 +33,7 @@ type MDPTSizeRow struct {
 }
 
 // AblationMDPTSize sweeps the MDPT size for NAS/SYNC.
-func AblationMDPTSize(r *Runner) ([]MDPTSizeRow, error) {
+func AblationMDPTSize(ctx context.Context, r *Runner) ([]MDPTSizeRow, error) {
 	benches := r.opt.ablationSet()
 	sizes := []int{256, 1024, 4096, 16384}
 	var cfgs []config.Machine
@@ -42,19 +43,19 @@ func AblationMDPTSize(r *Runner) ([]MDPTSizeRow, error) {
 		cfgs = append(cfgs, c)
 	}
 	cfgs = append(cfgs, nas(config.Naive))
-	if err := r.prefetch(benches, cfgs...); err != nil {
+	if err := r.prefetch(ctx, benches, cfgs...); err != nil {
 		return nil, err
 	}
 	var rows []MDPTSizeRow
 	for _, b := range benches {
-		nv, err := r.Run(b, nas(config.Naive))
+		nv, err := r.Run(ctx, b, nas(config.Naive))
 		if err != nil {
 			return nil, err
 		}
 		for _, s := range sizes {
 			c := nas(config.Sync)
 			c.PredictorTable.Entries = s
-			res, err := r.Run(b, c)
+			res, err := r.Run(ctx, b, c)
 			if err != nil {
 				return nil, err
 			}
@@ -84,7 +85,7 @@ type FlushRow struct {
 }
 
 // AblationFlush sweeps the MDPT flush interval.
-func AblationFlush(r *Runner) ([]FlushRow, error) {
+func AblationFlush(ctx context.Context, r *Runner) ([]FlushRow, error) {
 	benches := r.opt.ablationSet()
 	intervals := []int64{10_000, 100_000, 1_000_000, 0} // 0 = never flush
 	var cfgs []config.Machine
@@ -93,7 +94,7 @@ func AblationFlush(r *Runner) ([]FlushRow, error) {
 		c.PredictorTable.FlushInterval = iv
 		cfgs = append(cfgs, c)
 	}
-	if err := r.prefetch(benches, cfgs...); err != nil {
+	if err := r.prefetch(ctx, benches, cfgs...); err != nil {
 		return nil, err
 	}
 	var rows []FlushRow
@@ -101,7 +102,7 @@ func AblationFlush(r *Runner) ([]FlushRow, error) {
 		for _, iv := range intervals {
 			c := nas(config.Sync)
 			c.PredictorTable.FlushInterval = iv
-			res, err := r.Run(b, c)
+			res, err := r.Run(ctx, b, c)
 			if err != nil {
 				return nil, err
 			}
@@ -137,7 +138,7 @@ type WindowRow struct {
 }
 
 // AblationWindow sweeps the instruction window from 32 to 256 entries.
-func AblationWindow(r *Runner) ([]WindowRow, error) {
+func AblationWindow(ctx context.Context, r *Runner) ([]WindowRow, error) {
 	benches := r.opt.ablationSet()
 	windows := []int{32, 64, 128, 256}
 	policies := []config.Policy{config.NoSpec, config.Naive, config.Sync, config.Oracle}
@@ -149,7 +150,7 @@ func AblationWindow(r *Runner) ([]WindowRow, error) {
 			cfgs = append(cfgs, c)
 		}
 	}
-	if err := r.prefetch(benches, cfgs...); err != nil {
+	if err := r.prefetch(ctx, benches, cfgs...); err != nil {
 		return nil, err
 	}
 	var rows []WindowRow
@@ -159,7 +160,7 @@ func AblationWindow(r *Runner) ([]WindowRow, error) {
 			get := func(pol config.Policy) float64 {
 				c := nas(pol)
 				c.Window = w
-				res, err := r.Run(b, c)
+				res, err := r.Run(ctx, b, c)
 				if err != nil {
 					return 0
 				}
@@ -194,18 +195,18 @@ type StoreSetRow struct {
 }
 
 // AblationStoreSets runs the store-set extension.
-func AblationStoreSets(r *Runner) ([]StoreSetRow, error) {
+func AblationStoreSets(ctx context.Context, r *Runner) ([]StoreSetRow, error) {
 	benches := r.opt.ablationSet()
-	if err := r.prefetch(benches, nas(config.Sync), nas(config.StoreSets)); err != nil {
+	if err := r.prefetch(ctx, benches, nas(config.Sync), nas(config.StoreSets)); err != nil {
 		return nil, err
 	}
 	var rows []StoreSetRow
 	for _, b := range benches {
-		sy, err := r.Run(b, nas(config.Sync))
+		sy, err := r.Run(ctx, b, nas(config.Sync))
 		if err != nil {
 			return nil, err
 		}
-		ss, err := r.Run(b, nas(config.StoreSets))
+		ss, err := r.Run(ctx, b, nas(config.StoreSets))
 		if err != nil {
 			return nil, err
 		}
@@ -239,20 +240,20 @@ type RecoveryRow struct {
 }
 
 // AblationRecovery runs the recovery-mechanism comparison.
-func AblationRecovery(r *Runner) ([]RecoveryRow, error) {
+func AblationRecovery(ctx context.Context, r *Runner) ([]RecoveryRow, error) {
 	benches := r.opt.ablationSet()
 	sq := nas(config.Naive)
 	sel := nas(config.Naive).WithRecovery(config.RecoverySelective)
-	if err := r.prefetch(benches, sq, sel); err != nil {
+	if err := r.prefetch(ctx, benches, sq, sel); err != nil {
 		return nil, err
 	}
 	var rows []RecoveryRow
 	for _, b := range benches {
-		a, err := r.Run(b, sq)
+		a, err := r.Run(ctx, b, sq)
 		if err != nil {
 			return nil, err
 		}
-		c, err := r.Run(b, sel)
+		c, err := r.Run(ctx, b, sel)
 		if err != nil {
 			return nil, err
 		}
@@ -298,7 +299,7 @@ type BPredRow struct {
 // AblationBPred sweeps the direction predictor (combined / gshare /
 // bimodal / static-taken) and reports the oracle-over-no-speculation
 // gain under each.
-func AblationBPred(r *Runner) ([]BPredRow, error) {
+func AblationBPred(ctx context.Context, r *Runner) ([]BPredRow, error) {
 	benches := r.opt.ablationSet()
 	kinds := []bpred.Kind{bpred.Combined, bpred.GShare, bpred.Bimodal, bpred.StaticTaken}
 	var cfgs []config.Machine
@@ -309,7 +310,7 @@ func AblationBPred(r *Runner) ([]BPredRow, error) {
 		or.BranchPredictor = k
 		cfgs = append(cfgs, no, or)
 	}
-	if err := r.prefetch(benches, cfgs...); err != nil {
+	if err := r.prefetch(ctx, benches, cfgs...); err != nil {
 		return nil, err
 	}
 	var rows []BPredRow
@@ -319,11 +320,11 @@ func AblationBPred(r *Runner) ([]BPredRow, error) {
 			no.BranchPredictor = k
 			or := nas(config.Oracle)
 			or.BranchPredictor = k
-			rn, err := r.Run(b, no)
+			rn, err := r.Run(ctx, b, no)
 			if err != nil {
 				return nil, err
 			}
-			ro, err := r.Run(b, or)
+			ro, err := r.Run(ctx, b, or)
 			if err != nil {
 				return nil, err
 			}

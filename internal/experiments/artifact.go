@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"mdspec/internal/config"
+	"mdspec/internal/stats"
+)
+
+// RunnerVersion identifies the experiment-runner revision inside
+// artifacts so downstream diffs can tell schema or semantics changes
+// apart from genuine result drift. Bump on any change to the artifact
+// schema or to what the runner measures.
+const RunnerVersion = "mdspec-runner/2"
+
+// Provenance identifies one simulation well enough to reproduce it:
+// which benchmark ran under which configuration (by paper-style name
+// and by a hash of every Machine field), at what instruction budget,
+// how long it took, and which runner revision produced it.
+type Provenance struct {
+	Bench       string  `json:"bench"`
+	Config      string  `json:"config"`
+	ConfigHash  string  `json:"config_hash"`
+	Insts       int64   `json:"insts"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Runner      string  `json:"runner_version"`
+}
+
+// RunRecord is one executed simulation: its provenance, the headline
+// derived metrics, and the full raw counters.
+type RunRecord struct {
+	Provenance
+	IPC         float64    `json:"ipc"`
+	MisspecRate float64    `json:"misspec_rate"`
+	Stats       *stats.Run `json:"stats"`
+}
+
+// NewRunRecord assembles a provenance-carrying record for one run.
+func NewRunRecord(bench string, cfg config.Machine, insts int64, wall time.Duration, res *stats.Run) RunRecord {
+	return RunRecord{
+		Provenance: Provenance{
+			Bench:       bench,
+			Config:      cfg.Name(),
+			ConfigHash:  cfg.Hash(),
+			Insts:       insts,
+			WallSeconds: wall.Seconds(),
+			Runner:      RunnerVersion,
+		},
+		IPC:         res.IPC(),
+		MisspecRate: res.MisspecRate(),
+		Stats:       res,
+	}
+}
+
+// ExperimentResult is one experiment's typed rows inside a Results
+// envelope (Rows marshals to the row struct's JSON form).
+type ExperimentResult struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Rows    any     `json:"rows"`
+}
+
+// Results is the machine-readable artifact a sweep leaves behind: the
+// options it ran with, every experiment's typed rows, every simulation's
+// provenance-carrying record, and the runner's metrics.
+type Results struct {
+	Tool        string             `json:"tool"`
+	Runner      string             `json:"runner_version"`
+	CreatedAt   time.Time          `json:"created_at"`
+	Insts       int64              `json:"insts"`
+	Benchmarks  []string           `json:"benchmarks"`
+	Experiments []ExperimentResult `json:"experiments"`
+	Runs        []RunRecord        `json:"runs"`
+	Metrics     Counters           `json:"metrics"`
+}
+
+// NewResults starts an artifact envelope for the given tool and
+// options. Slices start non-nil so an interrupted sweep still
+// serializes them as [] rather than null.
+func NewResults(tool string, opt Options) *Results {
+	return &Results{
+		Tool:        tool,
+		Runner:      RunnerVersion,
+		CreatedAt:   time.Now().UTC(),
+		Insts:       opt.Insts,
+		Benchmarks:  opt.benchmarks(),
+		Experiments: []ExperimentResult{},
+		Runs:        []RunRecord{},
+	}
+}
+
+// AddExperiment appends one experiment's rows and elapsed time.
+func (rs *Results) AddExperiment(name string, rows any, d time.Duration) {
+	rs.Experiments = append(rs.Experiments, ExperimentResult{
+		Name: name, Seconds: d.Seconds(), Rows: rows,
+	})
+}
+
+// Attach copies the runner's per-run records and metrics snapshot into
+// the envelope; call it once, after the sweep.
+func (rs *Results) Attach(r *Runner) {
+	if recs := r.Records(); recs != nil {
+		rs.Runs = recs
+	}
+	rs.Metrics = r.Counters()
+}
+
+// WriteJSON serializes the envelope as indented JSON.
+func (rs *Results) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rs)
+}
+
+// csvHeader is the flat per-run schema WriteCSV emits.
+var csvHeader = []string{
+	"bench", "config", "config_hash", "insts", "wall_seconds",
+	"cycles", "committed", "ipc", "misspec_rate", "false_dep_rate",
+	"false_dep_latency", "branch_miss_rate", "squashed_insts", "sync_waits",
+}
+
+// WriteCSV serializes the per-run records as one flat CSV row each,
+// carrying the same provenance columns as the JSON form.
+func (rs *Results) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, rec := range rs.Runs {
+		s := rec.Stats
+		row := []string{
+			rec.Bench, rec.Config, rec.ConfigHash,
+			fmt.Sprintf("%d", rec.Insts),
+			fmt.Sprintf("%.6f", rec.WallSeconds),
+			fmt.Sprintf("%d", s.Cycles),
+			fmt.Sprintf("%d", s.Committed),
+			fmt.Sprintf("%.6f", s.IPC()),
+			fmt.Sprintf("%.6f", s.MisspecRate()),
+			fmt.Sprintf("%.6f", s.FalseDepRate()),
+			fmt.Sprintf("%.6f", s.FalseDepLatency()),
+			fmt.Sprintf("%.6f", s.BranchMissRate()),
+			fmt.Sprintf("%d", s.SquashedInsts),
+			fmt.Sprintf("%d", s.SyncWaits),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -36,7 +36,7 @@ func TestCalibrationAgainstTable4(t *testing.T) {
 		t.Skip("calibration sweep is slow")
 	}
 	r := NewRunner(Options{Insts: 60_000})
-	rows, err := Figure2(r)
+	rows, err := Figure2(bg, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestCalibrationAgainstTable3(t *testing.T) {
 		t.Skip("calibration sweep is slow")
 	}
 	r := NewRunner(Options{Insts: 60_000})
-	rows, err := Table3(r)
+	rows, err := Table3(bg, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestSummaryShapeRegression(t *testing.T) {
 		t.Skip("summary sweep is slow")
 	}
 	r := NewRunner(Options{Insts: 60_000})
-	rows, err := Summary(r)
+	rows, err := Summary(bg, r)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mdspec/internal/config"
@@ -28,17 +29,17 @@ type Figure1Row struct {
 
 // Figure1 reproduces Figure 1 (performance potential of load/store
 // parallelism, §3.2).
-func Figure1(r *Runner) ([]Figure1Row, error) {
+func Figure1(ctx context.Context, r *Runner) ([]Figure1Row, error) {
 	benches := r.opt.benchmarks()
 	cfgs := []config.Machine{small(config.NoSpec), small(config.Oracle), nas(config.NoSpec), nas(config.Oracle)}
-	if err := r.prefetch(benches, cfgs...); err != nil {
+	if err := r.prefetch(ctx, benches, cfgs...); err != nil {
 		return nil, err
 	}
 	rows := make([]Figure1Row, 0, len(benches))
 	for _, b := range benches {
 		var ipc [4]float64
 		for i, c := range cfgs {
-			res, err := r.Run(b, c)
+			res, err := r.Run(ctx, b, c)
 			if err != nil {
 				return nil, err
 			}
@@ -66,14 +67,14 @@ type Table3Row struct {
 }
 
 // Table3 reproduces Table 3 (§3.2).
-func Table3(r *Runner) ([]Table3Row, error) {
+func Table3(ctx context.Context, r *Runner) ([]Table3Row, error) {
 	benches := r.opt.benchmarks()
-	if err := r.prefetch(benches, nas(config.NoSpec)); err != nil {
+	if err := r.prefetch(ctx, benches, nas(config.NoSpec)); err != nil {
 		return nil, err
 	}
 	rows := make([]Table3Row, 0, len(benches))
 	for _, b := range benches {
-		res, err := r.Run(b, nas(config.NoSpec))
+		res, err := r.Run(ctx, b, nas(config.NoSpec))
 		if err != nil {
 			return nil, err
 		}
@@ -93,22 +94,22 @@ type Figure2Row struct {
 }
 
 // Figure2 reproduces Figure 2 (§3.3) and Table 4's NAV column.
-func Figure2(r *Runner) ([]Figure2Row, error) {
+func Figure2(ctx context.Context, r *Runner) ([]Figure2Row, error) {
 	benches := r.opt.benchmarks()
-	if err := r.prefetch(benches, nas(config.NoSpec), nas(config.Oracle), nas(config.Naive)); err != nil {
+	if err := r.prefetch(ctx, benches, nas(config.NoSpec), nas(config.Oracle), nas(config.Naive)); err != nil {
 		return nil, err
 	}
 	rows := make([]Figure2Row, 0, len(benches))
 	for _, b := range benches {
-		no, err := r.Run(b, nas(config.NoSpec))
+		no, err := r.Run(ctx, b, nas(config.NoSpec))
 		if err != nil {
 			return nil, err
 		}
-		or, err := r.Run(b, nas(config.Oracle))
+		or, err := r.Run(ctx, b, nas(config.Oracle))
 		if err != nil {
 			return nil, err
 		}
-		nv, err := r.Run(b, nas(config.Naive))
+		nv, err := r.Run(ctx, b, nas(config.Naive))
 		if err != nil {
 			return nil, err
 		}
@@ -135,24 +136,24 @@ type Figure3Row struct {
 }
 
 // Figure3 reproduces Figure 3 (§3.4).
-func Figure3(r *Runner) ([]Figure3Row, error) {
+func Figure3(ctx context.Context, r *Runner) ([]Figure3Row, error) {
 	benches := r.opt.benchmarks()
 	var cfgs []config.Machine
 	for lat := 0; lat <= 2; lat++ {
 		cfgs = append(cfgs, as(config.NoSpec, lat), as(config.Naive, lat))
 	}
-	if err := r.prefetch(benches, cfgs...); err != nil {
+	if err := r.prefetch(ctx, benches, cfgs...); err != nil {
 		return nil, err
 	}
 	rows := make([]Figure3Row, 0, len(benches))
 	for _, b := range benches {
 		row := Figure3Row{Bench: b}
 		for lat := 0; lat <= 2; lat++ {
-			no, err := r.Run(b, as(config.NoSpec, lat))
+			no, err := r.Run(ctx, b, as(config.NoSpec, lat))
 			if err != nil {
 				return nil, err
 			}
-			nv, err := r.Run(b, as(config.Naive, lat))
+			nv, err := r.Run(ctx, b, as(config.Naive, lat))
 			if err != nil {
 				return nil, err
 			}
@@ -177,26 +178,26 @@ type Figure4Row struct {
 }
 
 // Figure4 reproduces Figure 4.
-func Figure4(r *Runner) ([]Figure4Row, error) {
+func Figure4(ctx context.Context, r *Runner) ([]Figure4Row, error) {
 	benches := r.opt.benchmarks()
 	cfgs := []config.Machine{as(config.NoSpec, 0), nas(config.Oracle),
 		as(config.Naive, 0), as(config.Naive, 1), as(config.Naive, 2)}
-	if err := r.prefetch(benches, cfgs...); err != nil {
+	if err := r.prefetch(ctx, benches, cfgs...); err != nil {
 		return nil, err
 	}
 	rows := make([]Figure4Row, 0, len(benches))
 	for _, b := range benches {
-		base, err := r.Run(b, as(config.NoSpec, 0))
+		base, err := r.Run(ctx, b, as(config.NoSpec, 0))
 		if err != nil {
 			return nil, err
 		}
-		or, err := r.Run(b, nas(config.Oracle))
+		or, err := r.Run(ctx, b, nas(config.Oracle))
 		if err != nil {
 			return nil, err
 		}
 		row := Figure4Row{Bench: b, Oracle: or.IPC()/base.IPC() - 1}
 		for lat := 0; lat <= 2; lat++ {
-			nv, err := r.Run(b, as(config.Naive, lat))
+			nv, err := r.Run(ctx, b, as(config.Naive, lat))
 			if err != nil {
 				return nil, err
 			}
@@ -220,27 +221,27 @@ type Figure5Row struct {
 }
 
 // Figure5 reproduces Figure 5.
-func Figure5(r *Runner) ([]Figure5Row, error) {
+func Figure5(ctx context.Context, r *Runner) ([]Figure5Row, error) {
 	benches := r.opt.benchmarks()
 	cfgs := []config.Machine{nas(config.Naive), nas(config.Selective), nas(config.StoreBarrier), nas(config.Oracle)}
-	if err := r.prefetch(benches, cfgs...); err != nil {
+	if err := r.prefetch(ctx, benches, cfgs...); err != nil {
 		return nil, err
 	}
 	rows := make([]Figure5Row, 0, len(benches))
 	for _, b := range benches {
-		nv, err := r.Run(b, nas(config.Naive))
+		nv, err := r.Run(ctx, b, nas(config.Naive))
 		if err != nil {
 			return nil, err
 		}
-		sel, err := r.Run(b, nas(config.Selective))
+		sel, err := r.Run(ctx, b, nas(config.Selective))
 		if err != nil {
 			return nil, err
 		}
-		st, err := r.Run(b, nas(config.StoreBarrier))
+		st, err := r.Run(ctx, b, nas(config.StoreBarrier))
 		if err != nil {
 			return nil, err
 		}
-		or, err := r.Run(b, nas(config.Oracle))
+		or, err := r.Run(ctx, b, nas(config.Oracle))
 		if err != nil {
 			return nil, err
 		}
@@ -269,23 +270,23 @@ type Figure6Row struct {
 }
 
 // Figure6 reproduces Figure 6 and Table 4.
-func Figure6(r *Runner) ([]Figure6Row, error) {
+func Figure6(ctx context.Context, r *Runner) ([]Figure6Row, error) {
 	benches := r.opt.benchmarks()
 	cfgs := []config.Machine{nas(config.Naive), nas(config.Sync), nas(config.Oracle)}
-	if err := r.prefetch(benches, cfgs...); err != nil {
+	if err := r.prefetch(ctx, benches, cfgs...); err != nil {
 		return nil, err
 	}
 	rows := make([]Figure6Row, 0, len(benches))
 	for _, b := range benches {
-		nv, err := r.Run(b, nas(config.Naive))
+		nv, err := r.Run(ctx, b, nas(config.Naive))
 		if err != nil {
 			return nil, err
 		}
-		sy, err := r.Run(b, nas(config.Sync))
+		sy, err := r.Run(ctx, b, nas(config.Sync))
 		if err != nil {
 			return nil, err
 		}
-		or, err := r.Run(b, nas(config.Oracle))
+		or, err := r.Run(ctx, b, nas(config.Oracle))
 		if err != nil {
 			return nil, err
 		}
@@ -319,7 +320,7 @@ type Figure7Row struct {
 const splitUnits = 4
 
 // Figure7 reproduces the §3.7 discussion quantitatively.
-func Figure7(r *Runner) ([]Figure7Row, error) {
+func Figure7(ctx context.Context, r *Runner) ([]Figure7Row, error) {
 	benches := r.opt.benchmarks()
 	cfgs := []config.Machine{
 		as(config.Naive, 0),
@@ -327,14 +328,14 @@ func Figure7(r *Runner) ([]Figure7Row, error) {
 		nas(config.Naive),
 		nas(config.Naive).WithSplitWindow(splitUnits),
 	}
-	if err := r.prefetch(benches, cfgs...); err != nil {
+	if err := r.prefetch(ctx, benches, cfgs...); err != nil {
 		return nil, err
 	}
 	rows := make([]Figure7Row, 0, len(benches))
 	for _, b := range benches {
 		var res [4]*stats.Run
 		for i, c := range cfgs {
-			x, err := r.Run(b, c)
+			x, err := r.Run(ctx, b, c)
 			if err != nil {
 				return nil, err
 			}
@@ -366,15 +367,15 @@ type SummaryRow struct {
 
 // Summary computes the paper's §4 average speedups (arithmetic mean over
 // the int and fp subsets).
-func Summary(r *Runner) ([]SummaryRow, error) {
+func Summary(ctx context.Context, r *Runner) ([]SummaryRow, error) {
 	benches := r.opt.benchmarks()
 	cfgs := []config.Machine{nas(config.NoSpec), nas(config.Naive), nas(config.Sync),
 		nas(config.Oracle), as(config.NoSpec, 0), as(config.Naive, 0)}
-	if err := r.prefetch(benches, cfgs...); err != nil {
+	if err := r.prefetch(ctx, benches, cfgs...); err != nil {
 		return nil, err
 	}
 	ipc := func(b string, c config.Machine) float64 {
-		res, err := r.Run(b, c)
+		res, err := r.Run(ctx, b, c)
 		if err != nil {
 			return 0
 		}

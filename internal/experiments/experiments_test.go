@@ -17,18 +17,18 @@ func testRunner() *Runner {
 
 func TestRunnerMemoizes(t *testing.T) {
 	r := testRunner()
-	a, err := r.Run("126.gcc", nas(config.NoSpec))
+	a, err := r.Run(bg, "126.gcc", nas(config.NoSpec))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := r.Run("126.gcc", nas(config.NoSpec))
+	b, err := r.Run(bg, "126.gcc", nas(config.NoSpec))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a != b {
 		t.Error("identical runs should return the memoized result")
 	}
-	c, err := r.Run("126.gcc", nas(config.Oracle))
+	c, err := r.Run(bg, "126.gcc", nas(config.Oracle))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,13 +39,13 @@ func TestRunnerMemoizes(t *testing.T) {
 
 func TestRunnerUnknownBenchmark(t *testing.T) {
 	r := testRunner()
-	if _, err := r.Run("999.bogus", nas(config.NoSpec)); err == nil {
+	if _, err := r.Run(bg, "999.bogus", nas(config.NoSpec)); err == nil {
 		t.Fatal("unknown benchmark should error")
 	}
 }
 
 func TestFigure1Shape(t *testing.T) {
-	rows, err := Figure1(testRunner())
+	rows, err := Figure1(bg, testRunner())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestFigure1Shape(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
-	rows, err := Table3(testRunner())
+	rows, err := Table3(bg, testRunner())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestFigure2Ordering(t *testing.T) {
-	rows, err := Figure2(testRunner())
+	rows, err := Figure2(bg, testRunner())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestFigure2Ordering(t *testing.T) {
 }
 
 func TestFigure3SchedulerLatencyMonotone(t *testing.T) {
-	rows, err := Figure3(testRunner())
+	rows, err := Figure3(bg, testRunner())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestFigure3SchedulerLatencyMonotone(t *testing.T) {
 }
 
 func TestFigure4OracleCompetitive(t *testing.T) {
-	rows, err := Figure4(testRunner())
+	rows, err := Figure4(bg, testRunner())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestFigure4OracleCompetitive(t *testing.T) {
 }
 
 func TestFigure6SyncApproachesOracle(t *testing.T) {
-	rows, err := Figure6(testRunner())
+	rows, err := Figure6(bg, testRunner())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestFigure6SyncApproachesOracle(t *testing.T) {
 }
 
 func TestFigure7SplitMisspeculates(t *testing.T) {
-	rows, err := Figure7(testRunner())
+	rows, err := Figure7(bg, testRunner())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestFigure7SplitMisspeculates(t *testing.T) {
 }
 
 func TestSummaryAllFindings(t *testing.T) {
-	rows, err := Summary(testRunner())
+	rows, err := Summary(bg, testRunner())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,22 +210,22 @@ func TestSummaryAllFindings(t *testing.T) {
 
 func TestAblationsRun(t *testing.T) {
 	r := NewRunner(Options{Insts: 10_000, Benchmarks: []string{"129.compress"}})
-	if rows, err := AblationMDPTSize(r); err != nil || len(rows) == 0 {
+	if rows, err := AblationMDPTSize(bg, r); err != nil || len(rows) == 0 {
 		t.Fatalf("mdpt ablation: %v (%d rows)", err, len(rows))
 	} else if !strings.Contains(RenderMDPTSize(rows), "MDPT") {
 		t.Error("mdpt render missing")
 	}
-	if rows, err := AblationFlush(r); err != nil || len(rows) == 0 {
+	if rows, err := AblationFlush(bg, r); err != nil || len(rows) == 0 {
 		t.Fatalf("flush ablation: %v", err)
 	} else if !strings.Contains(RenderFlush(rows), "flush") {
 		t.Error("flush render missing")
 	}
-	if rows, err := AblationWindow(r); err != nil || len(rows) == 0 {
+	if rows, err := AblationWindow(bg, r); err != nil || len(rows) == 0 {
 		t.Fatalf("window ablation: %v", err)
 	} else if !strings.Contains(RenderWindow(rows), "window") {
 		t.Error("window render missing")
 	}
-	if rows, err := AblationStoreSets(r); err != nil || len(rows) == 0 {
+	if rows, err := AblationStoreSets(bg, r); err != nil || len(rows) == 0 {
 		t.Fatalf("store-set ablation: %v", err)
 	} else if !strings.Contains(RenderStoreSets(rows), "store-set") {
 		t.Error("store-set render missing")
@@ -234,7 +234,7 @@ func TestAblationsRun(t *testing.T) {
 
 func TestWindowAblationGrowsOracleGain(t *testing.T) {
 	r := NewRunner(Options{Insts: 20_000, Benchmarks: []string{"102.swim"}})
-	rows, err := AblationWindow(r)
+	rows, err := AblationWindow(bg, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +268,7 @@ func TestWorkloadClass(t *testing.T) {
 
 func TestAblationBPred(t *testing.T) {
 	r := NewRunner(Options{Insts: 15_000, Benchmarks: []string{"129.compress"}})
-	rows, err := AblationBPred(r)
+	rows, err := AblationBPred(bg, r)
 	if err != nil {
 		t.Fatal(err)
 	}

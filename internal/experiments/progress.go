@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Progress renders a live single-line sweep status (jobs finished vs
+// started, the most recent job, cache hits, elapsed time) by rewriting
+// one terminal line on each hook event. Wire it into a Runner via
+// Options.Hooks = p.Hooks(), and call Done before printing anything
+// else to the same stream.
+type Progress struct {
+	mu       sync.Mutex
+	w        io.Writer
+	start    time.Time
+	started  int
+	finished int
+	failed   int
+	hits     int
+	last     string
+	lastLen  int
+	done     bool
+}
+
+// NewProgress returns a Progress writing to w (normally os.Stderr).
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w, start: time.Now()}
+}
+
+// Hooks returns runner hooks that drive this progress line.
+func (p *Progress) Hooks() Hooks {
+	return Hooks{
+		JobStarted: func(bench, cfg string) {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			p.started++
+			p.last = bench + " " + cfg
+			p.render()
+		},
+		JobFinished: func(bench, cfg string, d time.Duration, err error) {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			p.finished++
+			if err != nil {
+				p.failed++
+			}
+			p.render()
+		},
+		CacheHit: func(bench, cfg string) {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			p.hits++
+			// Cache hits arrive in bursts from render loops; only repaint
+			// when a line is already up to avoid noise before any job runs.
+			if p.started > 0 {
+				p.render()
+			}
+		},
+	}
+}
+
+// render repaints the status line; callers hold p.mu.
+func (p *Progress) render() {
+	if p.done {
+		return
+	}
+	line := fmt.Sprintf("[%d/%d jobs] %s | cache hits %d | %.1fs",
+		p.finished, p.started, p.last, p.hits, time.Since(p.start).Seconds())
+	if p.failed > 0 {
+		line += fmt.Sprintf(" | %d FAILED", p.failed)
+	}
+	pad := ""
+	if n := p.lastLen - len(line); n > 0 {
+		pad = strings.Repeat(" ", n)
+	}
+	fmt.Fprintf(p.w, "\r%s%s", line, pad)
+	p.lastLen = len(line)
+}
+
+// Done clears the progress line and stops further rendering.
+func (p *Progress) Done() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done {
+		return
+	}
+	p.done = true
+	if p.lastLen > 0 {
+		fmt.Fprintf(p.w, "\r%s\r", strings.Repeat(" ", p.lastLen))
+	}
+}

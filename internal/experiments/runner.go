@@ -3,12 +3,24 @@
 // summary averages and a set of ablation studies. Each experiment
 // returns typed rows and has a paper-style text renderer; cmd/mdexp and
 // the repository's benchmarks drive them.
+//
+// The Runner at the center of the package is an instrumented execution
+// layer: it memoizes (benchmark, configuration) simulations with
+// singleflight semantics, honors context cancellation, aggregates every
+// job failure of a sweep instead of dropping all but one, records
+// per-run provenance (config name and hash, instruction budget, wall
+// time) for the artifact layer, and exposes progress hooks plus atomic
+// counters for live observability.
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mdspec/internal/config"
 	"mdspec/internal/core"
@@ -27,6 +39,8 @@ type Options struct {
 	Benchmarks []string
 	// Parallel bounds concurrent simulations (default: GOMAXPROCS).
 	Parallel int
+	// Hooks receives progress callbacks (all fields optional).
+	Hooks Hooks
 }
 
 // DefaultOptions runs the full suite at a laptop-friendly budget.
@@ -48,14 +62,57 @@ func (o Options) parallel() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Hooks are optional progress callbacks a Runner invokes around each
+// simulation. Callbacks may fire concurrently from sweep workers and
+// must be safe for concurrent use. Configuration identity is passed as
+// the paper-style name (e.g. "NAS/SYNC").
+type Hooks struct {
+	// JobStarted fires when a simulation actually begins (cache misses
+	// only; deduplicated and memoized calls never start a job).
+	JobStarted func(bench, cfg string)
+	// JobFinished fires when a simulation completes, with its wall time
+	// and error (nil on success).
+	JobFinished func(bench, cfg string, d time.Duration, err error)
+	// CacheHit fires when a Run call is satisfied from the memo cache or
+	// joins an in-flight duplicate simulation.
+	CacheHit func(bench, cfg string)
+}
+
+// Counters is a snapshot of a Runner's lifetime metrics.
+type Counters struct {
+	JobsStarted  int64 `json:"jobs_started"`
+	JobsFinished int64 `json:"jobs_finished"`
+	JobsFailed   int64 `json:"jobs_failed"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	// SimSeconds is the summed wall time of all finished simulations
+	// (CPU-parallel, so it exceeds elapsed time on multicore sweeps).
+	SimSeconds float64 `json:"sim_seconds"`
+}
+
 // Runner executes and memoizes simulations: most experiments share
-// baseline configurations, so each (benchmark, config) pair runs once.
+// baseline configurations, so each (benchmark, config) pair runs once,
+// even under concurrent callers (singleflight).
 type Runner struct {
 	opt Options
 
-	mu    sync.Mutex
-	progs map[string]*prog.Program
-	cache map[runKey]*stats.Run
+	mu       sync.Mutex
+	progs    map[string]*prog.Program
+	cache    map[runKey]*stats.Run
+	inflight map[runKey]*call
+	records  []RunRecord
+
+	jobsStarted  atomic.Int64
+	jobsFinished atomic.Int64
+	jobsFailed   atomic.Int64
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	simNanos     atomic.Int64
+
+	// sim is the simulation implementation; tests substitute stubs to
+	// exercise singleflight, cancellation and error aggregation without
+	// paying for real simulations.
+	sim func(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, error)
 }
 
 type runKey struct {
@@ -63,20 +120,50 @@ type runKey struct {
 	cfg   config.Machine
 }
 
+// call is an in-flight simulation that duplicate requests wait on.
+type call struct {
+	done chan struct{}
+	res  *stats.Run
+	err  error
+}
+
 // NewRunner returns a Runner with the given options.
 func NewRunner(opt Options) *Runner {
 	if opt.Insts <= 0 {
 		opt.Insts = DefaultOptions().Insts
 	}
-	return &Runner{
-		opt:   opt,
-		progs: make(map[string]*prog.Program),
-		cache: make(map[runKey]*stats.Run),
+	r := &Runner{
+		opt:      opt,
+		progs:    make(map[string]*prog.Program),
+		cache:    make(map[runKey]*stats.Run),
+		inflight: make(map[runKey]*call),
 	}
+	r.sim = r.simulate
+	return r
 }
 
 // Options returns the runner's options.
 func (r *Runner) Options() Options { return r.opt }
+
+// Counters returns a snapshot of the runner's lifetime metrics.
+func (r *Runner) Counters() Counters {
+	return Counters{
+		JobsStarted:  r.jobsStarted.Load(),
+		JobsFinished: r.jobsFinished.Load(),
+		JobsFailed:   r.jobsFailed.Load(),
+		CacheHits:    r.cacheHits.Load(),
+		CacheMisses:  r.cacheMisses.Load(),
+		SimSeconds:   time.Duration(r.simNanos.Load()).Seconds(),
+	}
+}
+
+// Records returns a copy of the provenance records of every simulation
+// this runner has executed (cache hits do not add records).
+func (r *Runner) Records() []RunRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]RunRecord(nil), r.records...)
+}
 
 func (r *Runner) program(bench string) (*prog.Program, error) {
 	r.mu.Lock()
@@ -92,16 +179,8 @@ func (r *Runner) program(bench string) (*prog.Program, error) {
 	return p, nil
 }
 
-// Run simulates bench under cfg (memoized).
-func (r *Runner) Run(bench string, cfg config.Machine) (*stats.Run, error) {
-	key := runKey{bench, cfg}
-	r.mu.Lock()
-	if res, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		return res, nil
-	}
-	r.mu.Unlock()
-
+// simulate is the real simulation backend behind Run.
+func (r *Runner) simulate(_ context.Context, bench string, cfg config.Machine) (*stats.Run, error) {
 	p, err := r.program(bench)
 	if err != nil {
 		return nil, err
@@ -112,14 +191,84 @@ func (r *Runner) Run(bench string, cfg config.Machine) (*stats.Run, error) {
 	}
 	res, err := pl.Run(r.opt.Insts)
 	if err != nil {
-		return nil, fmt.Errorf("%s under %s: %w", bench, cfg.Name(), err)
+		return nil, err
 	}
 	res.Workload = bench
+	return res, nil
+}
+
+// Run simulates bench under cfg. Results are memoized, and concurrent
+// calls for the same (bench, cfg) pair share a single simulation
+// (singleflight). A canceled context aborts before starting new work;
+// an already-running duplicate is abandoned (it completes and populates
+// the cache for later callers). Errors are returned naming the
+// offending (bench, config) pair and are not cached.
+func (r *Runner) Run(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key := runKey{bench, cfg}
 
 	r.mu.Lock()
-	r.cache[key] = res
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		r.cacheHits.Add(1)
+		if r.opt.Hooks.CacheHit != nil {
+			r.opt.Hooks.CacheHit(bench, cfg.Name())
+		}
+		return res, nil
+	}
+	if c, ok := r.inflight[key]; ok {
+		r.mu.Unlock()
+		select {
+		case <-c.done:
+			if c.err != nil {
+				return nil, c.err
+			}
+			r.cacheHits.Add(1)
+			if r.opt.Hooks.CacheHit != nil {
+				r.opt.Hooks.CacheHit(bench, cfg.Name())
+			}
+			return c.res, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	r.inflight[key] = c
 	r.mu.Unlock()
-	return res, nil
+
+	r.cacheMisses.Add(1)
+	r.jobsStarted.Add(1)
+	if r.opt.Hooks.JobStarted != nil {
+		r.opt.Hooks.JobStarted(bench, cfg.Name())
+	}
+	start := time.Now()
+	res, err := r.sim(ctx, bench, cfg)
+	wall := time.Since(start)
+	if err != nil {
+		err = fmt.Errorf("%s under %s: %w", bench, cfg.Name(), err)
+	}
+	r.jobsFinished.Add(1)
+	r.simNanos.Add(int64(wall))
+	if err != nil {
+		r.jobsFailed.Add(1)
+	}
+	if r.opt.Hooks.JobFinished != nil {
+		r.opt.Hooks.JobFinished(bench, cfg.Name(), wall, err)
+	}
+
+	r.mu.Lock()
+	delete(r.inflight, key)
+	if err == nil {
+		r.cache[key] = res
+		r.records = append(r.records, NewRunRecord(bench, cfg, r.opt.Insts, wall, res))
+	}
+	r.mu.Unlock()
+
+	c.res, c.err = res, err
+	close(c.done)
+	return res, err
 }
 
 // job is one (bench, config) simulation request.
@@ -128,52 +277,80 @@ type job struct {
 	cfg   config.Machine
 }
 
-// runAll executes all jobs with bounded parallelism, returning the first
-// error encountered.
-func (r *Runner) runAll(jobs []job) error {
+// runAll executes all jobs with bounded parallelism. Unlike a
+// first-error-wins sweep, it drains every job and returns the joined
+// errors of all failures, each naming its (bench, config) pair. When
+// ctx is canceled, jobs not yet running are abandoned and a single
+// context error is reported alongside any real failures.
+func (r *Runner) runAll(ctx context.Context, jobs []job) error {
 	sem := make(chan struct{}, r.opt.parallel())
-	errCh := make(chan error, len(jobs))
+	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
-	for _, j := range jobs {
+	for i, j := range jobs {
 		wg.Add(1)
-		go func(j job) {
+		go func(i int, j job) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if _, err := r.Run(j.bench, j.cfg); err != nil {
-				errCh <- err
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
 			}
-		}(j)
+			_, err := r.Run(ctx, j.bench, j.cfg)
+			errs[i] = err
+		}(i, j)
 	}
 	wg.Wait()
-	close(errCh)
-	return <-errCh
+
+	var failures []error
+	canceled := false
+	for _, e := range errs {
+		switch {
+		case e == nil:
+		case errors.Is(e, context.Canceled) || errors.Is(e, context.DeadlineExceeded):
+			canceled = true // collapse the cancellation storm into one error
+		default:
+			failures = append(failures, e)
+		}
+	}
+	if canceled {
+		failures = append(failures, ctx.Err())
+	}
+	return errors.Join(failures...)
 }
 
 // prefetch runs the cross product of benchmarks and configs in parallel
 // so subsequent Run calls hit the memo.
-func (r *Runner) prefetch(benches []string, cfgs ...config.Machine) error {
+func (r *Runner) prefetch(ctx context.Context, benches []string, cfgs ...config.Machine) error {
 	var jobs []job
 	for _, b := range benches {
 		for _, c := range cfgs {
 			jobs = append(jobs, job{b, c})
 		}
 	}
-	return r.runAll(jobs)
+	return r.runAll(ctx, jobs)
 }
 
 // means computes arithmetic means of a metric over the SPECint and
-// SPECfp subsets of rows (keyed by benchmark name).
+// SPECfp subsets of rows (keyed by benchmark name). Names that are in
+// neither subset (misspellings that slipped past CLI validation) are
+// skipped rather than silently classified as FP.
 func meansByClass(benches []string, metric func(bench string) float64) (intMean, fpMean float64) {
 	intSet := make(map[string]bool)
 	for _, n := range workload.IntNames() {
 		intSet[n] = true
 	}
+	fpSet := make(map[string]bool)
+	for _, n := range workload.FPNames() {
+		fpSet[n] = true
+	}
 	var iv, fv []float64
 	for _, b := range benches {
-		if intSet[b] {
+		switch {
+		case intSet[b]:
 			iv = append(iv, metric(b))
-		} else {
+		case fpSet[b]:
 			fv = append(fv, metric(b))
 		}
 	}

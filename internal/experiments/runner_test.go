@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mdspec/internal/config"
+	"mdspec/internal/stats"
+)
+
+// bg is the context used by tests that don't exercise cancellation.
+var bg = context.Background()
+
+func TestRunAllAggregatesAllErrors(t *testing.T) {
+	r := NewRunner(Options{Insts: 1000})
+	jobs := []job{
+		{"126.gcc", nas(config.NoSpec)},
+		{"bogus.one", nas(config.NoSpec)},
+		{"bogus.two", nas(config.Oracle)},
+	}
+	err := r.runAll(bg, jobs)
+	if err == nil {
+		t.Fatal("runAll with two failing jobs returned nil")
+	}
+	msg := err.Error()
+	for _, want := range []string{"bogus.one", "bogus.two", "NAS/NO", "NAS/ORACLE"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("aggregated error missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+func TestRunNamesFailingPair(t *testing.T) {
+	r := NewRunner(Options{Insts: 1000})
+	_, err := r.Run(bg, "999.nope", nas(config.Sync))
+	if err == nil {
+		t.Fatal("unknown benchmark should error")
+	}
+	if !strings.Contains(err.Error(), "999.nope") || !strings.Contains(err.Error(), "NAS/SYNC") {
+		t.Errorf("error should name the (bench, config) pair: %v", err)
+	}
+}
+
+func TestRunnerSingleflight(t *testing.T) {
+	r := NewRunner(Options{Insts: 1000})
+	var sims atomic.Int64
+	gate := make(chan struct{})
+	r.sim = func(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, error) {
+		sims.Add(1)
+		<-gate // hold every caller inside one simulated run
+		return &stats.Run{Workload: bench, Config: cfg.Name(), Cycles: 1, Committed: 1}, nil
+	}
+
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]*stats.Run, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.Run(bg, "126.gcc", nas(config.Naive))
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	// Let every goroutine reach Run before releasing the simulation.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if n := sims.Load(); n != 1 {
+		t.Errorf("concurrent identical runs started %d simulations, want 1", n)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Errorf("caller %d got a different *stats.Run than caller 0", i)
+		}
+	}
+	c := r.Counters()
+	if c.CacheMisses != 1 || c.CacheHits != callers-1 {
+		t.Errorf("counters = %+v, want 1 miss and %d hits", c, callers-1)
+	}
+}
+
+func TestRunnerMemoizesStub(t *testing.T) {
+	r := NewRunner(Options{Insts: 1000})
+	var sims atomic.Int64
+	r.sim = func(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, error) {
+		sims.Add(1)
+		return &stats.Run{Workload: bench, Config: cfg.Name(), Cycles: 1, Committed: 1}, nil
+	}
+	a, err := r.Run(bg, "126.gcc", nas(config.NoSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(bg, "126.gcc", nas(config.NoSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || sims.Load() != 1 {
+		t.Errorf("repeated key should return the memoized pointer after one sim (got %d sims)", sims.Load())
+	}
+}
+
+func TestRunnerCancellationAbortsSweep(t *testing.T) {
+	r := NewRunner(Options{Insts: 1000, Parallel: 2})
+	var started atomic.Int64
+	r.sim = func(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, error) {
+		started.Add(1)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return &stats.Run{Workload: bench, Cycles: 1, Committed: 1}, nil
+		}
+	}
+
+	var jobs []job
+	for _, b := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		jobs = append(jobs, job{b, nas(config.Naive)})
+	}
+	ctx, cancel := context.WithCancel(bg)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	err := r.runAll(ctx, jobs)
+	elapsed := time.Since(t0)
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("runAll after cancel = %v, want context.Canceled", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v, want prompt abort", elapsed)
+	}
+	if n := started.Load(); n > 2 {
+		t.Errorf("%d sims started despite Parallel=2 and early cancel", n)
+	}
+	// New work after cancellation is refused immediately.
+	if _, err := r.Run(ctx, "z", nas(config.Naive)); !errors.Is(err, context.Canceled) {
+		t.Errorf("Run on canceled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunnerDeadline(t *testing.T) {
+	r := NewRunner(Options{Insts: 1000, Parallel: 1})
+	r.sim = func(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Second):
+			return &stats.Run{Cycles: 1, Committed: 1}, nil
+		}
+	}
+	ctx, cancel := context.WithTimeout(bg, 30*time.Millisecond)
+	defer cancel()
+	err := r.prefetch(ctx, []string{"a", "b", "c"}, nas(config.Naive))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("prefetch past deadline = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestRunnerRecordsProvenance(t *testing.T) {
+	r := NewRunner(Options{Insts: 5_000})
+	if _, err := r.Run(bg, "126.gcc", nas(config.Naive)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(bg, "126.gcc", nas(config.Naive)); err != nil { // cache hit: no new record
+		t.Fatal(err)
+	}
+	recs := r.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d, want 1", len(recs))
+	}
+	rec := recs[0]
+	switch {
+	case rec.Bench != "126.gcc":
+		t.Errorf("bench = %q", rec.Bench)
+	case rec.Config != "NAS/NAV":
+		t.Errorf("config = %q", rec.Config)
+	case rec.ConfigHash != nas(config.Naive).Hash() || len(rec.ConfigHash) != 16:
+		t.Errorf("config hash = %q", rec.ConfigHash)
+	case rec.Insts != 5_000:
+		t.Errorf("insts = %d", rec.Insts)
+	case rec.WallSeconds <= 0:
+		t.Errorf("wall seconds = %v", rec.WallSeconds)
+	case rec.Runner != RunnerVersion:
+		t.Errorf("runner version = %q", rec.Runner)
+	case rec.Stats == nil || rec.Stats.Committed == 0:
+		t.Error("record missing raw stats")
+	}
+}
+
+func TestResultsJSONRoundTrip(t *testing.T) {
+	r := NewRunner(Options{Insts: 5_000, Benchmarks: []string{"126.gcc"}})
+	rows, err := Table3(bg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := NewResults("mdexp-test", r.Options())
+	rs.AddExperiment("table3", rows, time.Second)
+	rs.Attach(r)
+
+	var buf bytes.Buffer
+	if err := rs.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Results
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back.Tool != "mdexp-test" || back.Runner != RunnerVersion || back.Insts != 5_000 {
+		t.Errorf("envelope fields lost: %+v", back)
+	}
+	if len(back.Experiments) != 1 || back.Experiments[0].Name != "table3" {
+		t.Errorf("experiments lost: %+v", back.Experiments)
+	}
+	if len(back.Runs) == 0 {
+		t.Fatal("no run records in artifact")
+	}
+	for _, rec := range back.Runs {
+		if rec.Bench == "" || rec.Config == "" || rec.ConfigHash == "" ||
+			rec.Insts != 5_000 || rec.WallSeconds <= 0 || rec.Runner != RunnerVersion {
+			t.Errorf("run record missing provenance: %+v", rec.Provenance)
+		}
+		if rec.Stats == nil || rec.Stats.Cycles == 0 {
+			t.Errorf("run record missing stats: %+v", rec.Provenance)
+		}
+	}
+	if back.Metrics.JobsFinished == 0 || back.Metrics.CacheMisses == 0 {
+		t.Errorf("metrics lost: %+v", back.Metrics)
+	}
+}
+
+func TestResultsCSV(t *testing.T) {
+	r := NewRunner(Options{Insts: 5_000, Benchmarks: []string{"126.gcc"}})
+	if _, err := r.Run(bg, "126.gcc", nas(config.Naive)); err != nil {
+		t.Fatal(err)
+	}
+	rs := NewResults("mdexp-test", r.Options())
+	rs.Attach(r)
+	var buf bytes.Buffer
+	if err := rs.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 { // header + one run
+		t.Fatalf("csv rows = %d, want 2", len(recs))
+	}
+	if recs[0][0] != "bench" || recs[1][0] != "126.gcc" || recs[1][1] != "NAS/NAV" {
+		t.Errorf("csv content wrong: %v", recs)
+	}
+	if len(recs[1]) != len(csvHeader) {
+		t.Errorf("csv row has %d fields, header %d", len(recs[1]), len(csvHeader))
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	h := p.Hooks()
+	h.JobStarted("126.gcc", "NAS/NAV")
+	h.JobFinished("126.gcc", "NAS/NAV", time.Millisecond, nil)
+	h.CacheHit("126.gcc", "NAS/NAV")
+	h.JobStarted("102.swim", "NAS/SYNC")
+	h.JobFinished("102.swim", "NAS/SYNC", time.Millisecond, errors.New("boom"))
+	p.Done()
+	out := buf.String()
+	for _, want := range []string{"126.gcc", "cache hits 1", "2/2 jobs", "1 FAILED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress output missing %q:\n%q", want, out)
+		}
+	}
+	// Done must leave the line cleared (ends with a carriage return).
+	if !strings.HasSuffix(out, "\r") {
+		t.Error("Done should clear the progress line")
+	}
+}
+
+func TestMeansByClassSkipsUnknownNames(t *testing.T) {
+	metric := func(b string) float64 {
+		if b == "126.gcc" {
+			return 1
+		}
+		if b == "102.swim" {
+			return 3
+		}
+		return 1000 // a misspelled name must never reach the metric
+	}
+	im, fm := meansByClass([]string{"126.gcc", "102.swim", "126.gc"}, metric)
+	if im != 1 || fm != 3 {
+		t.Errorf("means = %v, %v: misspelled name contaminated a class mean", im, fm)
+	}
+}

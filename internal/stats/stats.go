@@ -7,6 +7,7 @@ package stats
 
 import (
 	"fmt"
+	"log"
 	"math"
 	"sort"
 	"strings"
@@ -144,8 +145,10 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-// GeoMean returns the geometric mean of xs (0 for empty input; panics on
-// non-positive values, which indicate a bug upstream).
+// GeoMean returns the geometric mean of xs (0 for empty input). A
+// non-positive value indicates a bug upstream; rather than panicking in
+// library code, GeoMean logs a warning and returns NaN so the corrupt
+// aggregate is visible but survivable.
 func GeoMean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -153,7 +156,8 @@ func GeoMean(xs []float64) float64 {
 	var s float64
 	for _, x := range xs {
 		if x <= 0 {
-			panic("stats: GeoMean of non-positive value")
+			log.Printf("stats: GeoMean of non-positive value %v (returning NaN)", x)
+			return math.NaN()
 		}
 		s += math.Log(x)
 	}
@@ -170,15 +174,23 @@ type Table struct {
 // Add appends a row.
 func (t *Table) Add(cols ...string) { t.Rows = append(t.Rows, cols) }
 
-// String renders the table.
+// String renders the table. Rows may be ragged: columns beyond the
+// header still get their own measured width instead of being crammed
+// into the last header column's width.
 func (t *Table) String() string {
-	widths := make([]int, len(t.Header))
+	cols := len(t.Header)
+	for _, row := range t.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -189,7 +201,7 @@ func (t *Table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
 		}
 		b.WriteByte('\n')
 	}

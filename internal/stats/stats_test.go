@@ -63,13 +63,15 @@ func TestMeanAndGeoMean(t *testing.T) {
 	}
 }
 
-func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("GeoMean should panic on non-positive input")
-		}
-	}()
-	GeoMean([]float64{1, 0})
+func TestGeoMeanNonPositiveIsNaN(t *testing.T) {
+	// Library code must not panic on corrupt input: a non-positive value
+	// yields NaN (plus a logged warning) so callers can see the damage.
+	if got := GeoMean([]float64{1, 0}); !math.IsNaN(got) {
+		t.Errorf("GeoMean with zero = %v, want NaN", got)
+	}
+	if got := GeoMean([]float64{2, -3}); !math.IsNaN(got) {
+		t.Errorf("GeoMean with negative = %v, want NaN", got)
+	}
 }
 
 func TestGeoMeanLeqMeanProperty(t *testing.T) {
@@ -100,6 +102,24 @@ func TestTableRendering(t *testing.T) {
 	tb.SortRows()
 	if tb.Rows[0][0] != "alpha" {
 		t.Error("SortRows should order by first column")
+	}
+}
+
+func TestTableRaggedRowsAlign(t *testing.T) {
+	// Rows wider than the header used to be crammed into the last header
+	// column's width, misaligning every extra column.
+	tb := &Table{Header: []string{"name", "v"}}
+	tb.Add("a", "1", "extra-wide-cell", "tail")
+	tb.Add("b", "2", "x", "y")
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), tb.String())
+	}
+	// Both data rows must place the 4th column at the same offset.
+	tail1 := strings.Index(lines[2], "tail")
+	tail2 := strings.Index(lines[3], "y")
+	if tail1 < 0 || tail1 != tail2 {
+		t.Errorf("ragged columns misaligned (%d vs %d):\n%s", tail1, tail2, tb.String())
 	}
 }
 

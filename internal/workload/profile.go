@@ -12,6 +12,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Profile parameterizes one synthetic benchmark.
@@ -106,6 +107,35 @@ func Names() []string {
 		out[i] = p.Name
 	}
 	return out
+}
+
+// ParseNames parses a comma-separated benchmark list as typed on a CLI:
+// whitespace around each name is trimmed, empty fields are dropped, and
+// every name is validated against the Table 1 suite up front so a typo
+// fails immediately (naming the valid set) instead of deep inside a
+// sweep — or worse, being silently misclassified by downstream int/fp
+// aggregation.
+func ParseNames(s string) ([]string, error) {
+	known := make(map[string]bool, len(profiles))
+	for _, p := range profiles {
+		known[p.Name] = true
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		name := strings.TrimSpace(f)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("workload: unknown benchmark %q (valid: %s)",
+				name, strings.Join(Names(), ", "))
+		}
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: empty benchmark list %q", s)
+	}
+	return out, nil
 }
 
 // IntNames returns the SPECint'95 analog names.

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -231,5 +232,35 @@ func TestChanceExtremes(t *testing.T) {
 		if !r.chance(1) {
 			t.Fatal("chance(1) did not fire")
 		}
+	}
+}
+
+func TestParseNames(t *testing.T) {
+	// Whitespace around commas is what users actually type on a CLI.
+	got, err := ParseNames("126.gcc, 099.go ,102.swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"126.gcc", "099.go", "102.swim"}
+	if len(got) != len(want) {
+		t.Fatalf("ParseNames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ParseNames = %v, want %v", got, want)
+		}
+	}
+	// Trailing comma is tolerated; the empty field is dropped.
+	if got, err := ParseNames("126.gcc,"); err != nil || len(got) != 1 {
+		t.Errorf("trailing comma: %v, %v", got, err)
+	}
+	// A misspelled name fails up front and names the valid set.
+	if _, err := ParseNames("126.gc"); err == nil {
+		t.Error("misspelled benchmark should be rejected")
+	} else if !strings.Contains(err.Error(), "126.gcc") {
+		t.Errorf("error should list valid names: %v", err)
+	}
+	if _, err := ParseNames(" , "); err == nil {
+		t.Error("empty list should be rejected")
 	}
 }
