@@ -331,24 +331,46 @@ func BenchmarkAblationBPred(b *testing.B) {
 }
 
 // BenchmarkSimulatorSpeed measures raw simulation throughput
-// (simulated instructions per wall second) on the gcc analog.
+// (simulated instructions per wall second) on the gcc analog across a
+// small configuration matrix. All sub-benchmarks replay one shared
+// recording of the dynamic instruction stream, the same way sweep
+// configs share a per-benchmark recording through the runner cache, so
+// the numbers reflect the timing core alone.
 func BenchmarkSimulatorSpeed(b *testing.B) {
-	program := workload.MustBuild("126.gcc")
-	cfg := config.Default128().WithPolicy(config.Sync)
-	b.ResetTimer()
-	var simulated int64
-	for i := 0; i < b.N; i++ {
-		pipe, err := core.New(cfg, emu.NewTrace(emu.New(program)))
-		if err != nil {
-			b.Fatal(err)
-		}
-		res, err := pipe.Run(50_000)
-		if err != nil {
-			b.Fatal(err)
-		}
-		simulated += res.Committed
+	rec := emu.NewRecording(emu.New(workload.MustBuild("126.gcc")))
+	matrix := []struct {
+		name string
+		cfg  config.Machine
+	}{
+		{"NAS-NO", config.Default128().WithPolicy(config.NoSpec)},
+		{"AS-NAV", config.Default128().WithPolicy(config.Naive).WithAddressScheduler(1)},
+		{"NAS-SYNC", config.Default128().WithPolicy(config.Sync)},
 	}
-	b.ReportMetric(float64(simulated)/b.Elapsed().Seconds(), "sim-insts/s")
+	// Warm the recording once (untimed) so every sub-benchmark measures
+	// the timing core replaying a cached stream, not the one-time
+	// emulation that fills it.
+	if pipe, err := core.New(matrix[0].cfg, rec.NewReplay()); err != nil {
+		b.Fatal(err)
+	} else if _, err := pipe.Run(50_000); err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range matrix {
+		b.Run(m.name, func(b *testing.B) {
+			var simulated int64
+			for i := 0; i < b.N; i++ {
+				pipe, err := core.New(m.cfg, rec.NewReplay())
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := pipe.Run(50_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				simulated += res.Committed
+			}
+			b.ReportMetric(float64(simulated)/b.Elapsed().Seconds(), "sim-insts/s")
+		})
+	}
 }
 
 // rowMap builds a name->metric map from experiment rows.

@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	mdexp [-n insts] [-bench list] [-par N] [-json|-csv] [-out file] [-quiet] <experiment>...
+//	mdexp [-n insts] [-bench list] [-par N] [-json|-csv] [-out file] [-quiet]
+//	      [-cpuprofile file] [-memprofile file] <experiment>...
 //
 // Flags and experiment names may be interleaved, so
 // "mdexp -json -out results.json all -n 20000 -bench 126.gcc" works.
@@ -36,6 +37,7 @@ import (
 	"time"
 
 	"mdspec/internal/experiments"
+	"mdspec/internal/profiling"
 	"mdspec/internal/workload"
 )
 
@@ -102,6 +104,8 @@ func main() {
 	csvOut := flag.Bool("csv", false, "write per-run records as CSV (to -out, or stdout)")
 	outPath := flag.String("out", "", "artifact destination file (with -json/-csv; default stdout)")
 	quiet := flag.Bool("quiet", false, "suppress the live stderr progress line")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mdexp [flags] <experiment>...\nexperiments: %s all\n",
 			strings.Join(names(), " "))
@@ -127,6 +131,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+	}()
 	if *jsonOut && *csvOut {
 		fatal(errors.New("-json and -csv are mutually exclusive"))
 	}

@@ -5,6 +5,7 @@
 //
 //	mdsim [-n insts] [-w bench] [-policy NO|NAV|SEL|STORE|SYNC|ORACLE|SSET]
 //	      [-as] [-aslat N] [-split N] [-window N] [-json] [-out file]
+//	      [-cpuprofile file] [-memprofile file]
 //
 // With -json, a single provenance-carrying run record (config name and
 // hash, instruction budget, wall time, runner version, raw counters) is
@@ -22,6 +23,7 @@ import (
 	"mdspec/internal/core"
 	"mdspec/internal/emu"
 	"mdspec/internal/experiments"
+	"mdspec/internal/profiling"
 	"mdspec/internal/prog"
 	"mdspec/internal/stats"
 	"mdspec/internal/workload"
@@ -41,7 +43,19 @@ func main() {
 	sample := flag.String("sample", "", "sampled simulation as T:F instructions (e.g. 50000:100000)")
 	jsonOut := flag.Bool("json", false, "write a JSON run record instead of the text report")
 	outPath := flag.String("out", "", "destination file for -json (default stdout)")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	pol, err := config.ParsePolicy(*policy)
 	if err != nil {

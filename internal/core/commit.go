@@ -19,9 +19,8 @@ func (p *Pipeline) commit() {
 			break // empty or not yet dispatched (split-window hole)
 		}
 		d := &e.di
-		op := d.Inst.Op
 		switch {
-		case op.IsStore():
+		case e.isStore:
 			if !e.memIssued || p.cycle < e.memDone {
 				return
 			}
@@ -30,14 +29,14 @@ func (p *Pipeline) commit() {
 			}
 			p.portLeft--
 			p.hier.D.Access(d.Addr, p.cycle, true)
-			p.removeAddrMap(p.storesByAddr, d.Addr, d.Seq)
+			p.stores.removeSeq(p.slotIndex(d.Seq), d.Addr, d.Seq)
 			p.res.CommittedStores++
 			p.memInFlight--
-		case op.IsLoad():
+		case e.isLoad:
 			if !e.memIssued || p.cycle < e.memDone {
 				return
 			}
-			p.removeAddrMap(p.loadsByAddr, d.Addr, d.Seq)
+			p.loads.removeSeq(p.slotIndex(d.Seq), d.Addr, d.Seq)
 			p.res.CommittedLoads++
 			p.memInFlight--
 			if e.fdCounted && e.fdFalse {
@@ -52,7 +51,7 @@ func (p *Pipeline) commit() {
 				return
 			}
 		}
-		if op.IsBranch() {
+		if e.isBranch {
 			p.res.Branches++
 			if e.bpWrong {
 				p.res.BranchMispredicts++
@@ -62,6 +61,7 @@ func (p *Pipeline) commit() {
 		p.headSeq++
 		p.res.Committed++
 		committed++
+		p.activity = true // commit frees window space: fetch may resume
 	}
 	// Committed records can never be referenced again; let the trace
 	// reclaim them (amortized internally).
@@ -77,7 +77,7 @@ func (p *Pipeline) classifyStall() {
 		p.res.StallEmpty++
 		return
 	}
-	if e.di.Inst.Op.IsMem() {
+	if e.isMem {
 		p.res.StallMem++
 		return
 	}

@@ -28,6 +28,7 @@ func (p *Pipeline) fetch() {
 		p.hier.I.Access(p.wrongPathPC, p.cycle, false)
 		p.wrongPathPC += 1 << iCacheBlockShift
 		p.wrongPathBlocks--
+		p.activity = true
 	}
 	if p.draining || p.blockedOnBranch != noSeq || p.cycle < p.fetchResumeAt {
 		return
@@ -55,6 +56,7 @@ func (p *Pipeline) fetch() {
 			}
 			blocks++
 			done := p.hier.I.Access(d.PC, p.cycle, false)
+			p.activity = true
 			p.lastFetchBlock, p.haveFetchBlock = blk, true
 			if done > p.cycle+p.hier.I.Config().HitLatency {
 				// Miss: these instructions arrive when the fill does.
@@ -62,7 +64,7 @@ func (p *Pipeline) fetch() {
 				break
 			}
 		}
-		rec := fetchRec{seq: p.fetchSeq, ready: p.cycle + int64(p.cfg.FrontEndDepth)}
+		rec := fetchRec{seq: p.fetchSeq, ready: p.cycle + int64(p.cfg.FrontEndDepth), isMem: d.Inst.Op.IsMem()}
 		if d.IsBranch() {
 			if branches == p.cfg.BranchesPerCycle {
 				break
@@ -73,6 +75,7 @@ func (p *Pipeline) fetch() {
 		p.fetchQ = append(p.fetchQ, rec)
 		p.fetchSeq++
 		fetched++
+		p.activity = true
 		if rec.bpWrong {
 			// Stall until the branch resolves; optionally stream
 			// wrong-path fetches meanwhile.
@@ -150,13 +153,14 @@ func (p *Pipeline) fetchSplit() {
 				}
 				blocks++
 				done := p.hier.I.Access(d.PC, p.cycle, false)
+				p.activity = true
 				p.unitFetchBlock[u], p.unitHaveBlock[u] = blk, true
 				if done > p.cycle+p.hier.I.Config().HitLatency {
 					p.unitResumeAt[u] = done
 					break
 				}
 			}
-			rec := fetchRec{seq: seq, ready: p.cycle + int64(p.cfg.FrontEndDepth), unit: u}
+			rec := fetchRec{seq: seq, ready: p.cycle + int64(p.cfg.FrontEndDepth), isMem: d.Inst.Op.IsMem(), unit: u}
 			if d.IsBranch() {
 				if branches == p.cfg.BranchesPerCycle {
 					break
@@ -167,6 +171,7 @@ func (p *Pipeline) fetchSplit() {
 			p.fetchQ = append(p.fetchQ, rec)
 			p.advanceUnitFetch(u, taskSize)
 			fetched++
+			p.activity = true
 			if rec.bpWrong {
 				p.unitBlockedOn[u] = rec.seq
 				break
@@ -199,7 +204,7 @@ func (p *Pipeline) dispatch() {
 	dispatched := 0
 	for i := range p.fetchQ {
 		rec := p.fetchQ[i]
-		lsqFull := p.memInFlight >= lsq && p.trace.At(rec.seq).Inst.Op.IsMem()
+		lsqFull := p.memInFlight >= lsq && rec.isMem
 		if dispatched >= width || rec.ready > p.cycle || rec.seq >= p.headSeq+int64(p.cfg.Window) || lsqFull {
 			if !p.cfg.SplitWindow {
 				// Program order: nothing younger can go either.
@@ -211,6 +216,9 @@ func (p *Pipeline) dispatch() {
 		}
 		p.dispatchOne(rec)
 		dispatched++
+	}
+	if dispatched > 0 {
+		p.activity = true
 	}
 	p.fetchQ = out
 }
@@ -241,28 +249,36 @@ func (p *Pipeline) dispatchOne(rec fetchRec) {
 	}
 
 	op := d.Inst.Op
+	e.isLoad = op.IsLoad()
+	e.isStore = op.IsStore()
+	e.isMem = e.isLoad || e.isStore
+	e.isBranch = op.IsBranch()
+	e.class = op.Class()
+	e.latency = int64(e.class.Latency())
 	switch {
-	case op.IsStore():
+	case e.isStore:
 		p.memInFlight++
 		p.dispatchStore(e)
-	case op.IsLoad():
+	case e.isLoad:
 		p.memInFlight++
 		p.dispatchLoad(e)
 	}
+	p.candInsert(rec.seq)
 }
 
 // dispatchStore applies store-side policy work at dispatch.
 func (p *Pipeline) dispatchStore(e *robEntry) {
 	seq := e.di.Seq
-	insertSorted(&p.pendingStores, seq)
+	s := p.slotIndex(seq)
+	p.pendingStores.insert(s, seq)
 	if p.cfg.UseAddressScheduler {
-		insertSorted(&p.unpostedStores, seq)
+		p.unpostedStores.insert(s, seq)
 	}
 	switch p.cfg.Policy {
 	case config.StoreBarrier:
 		if p.sbar.Predict(e.di.PC, p.cycle) {
 			e.barrier = true
-			insertSorted(&p.pendingBarriers, seq)
+			p.pendingBarriers.insert(s, seq)
 		}
 	case config.Sync:
 		if syn, ok := p.mdpt.StoreSynonym(e.di.PC, p.cycle); ok {
@@ -302,38 +318,11 @@ func (p *Pipeline) closestSynonymStore(loadSeq int64, syn uint32) int64 {
 		if !e.valid || e.di.Seq != s {
 			continue
 		}
-		if e.di.IsStore() && e.storeIsSyn && e.synonym == syn {
+		if e.isStore && e.storeIsSyn && e.synonym == syn {
 			return s
 		}
 	}
 	return noSeq
-}
-
-// insertSorted inserts seq into the ascending slice.
-func insertSorted(s *[]int64, seq int64) {
-	xs := *s
-	i := len(xs)
-	for i > 0 && xs[i-1] > seq {
-		i--
-	}
-	xs = append(xs, 0)
-	copy(xs[i+1:], xs[i:])
-	xs[i] = seq
-	*s = xs
-}
-
-// removeSorted removes seq from the ascending slice if present.
-func removeSorted(s *[]int64, seq int64) {
-	xs := *s
-	for i, v := range xs {
-		if v == seq {
-			*s = append(xs[:i], xs[i+1:]...)
-			return
-		}
-		if v > seq {
-			return
-		}
-	}
 }
 
 // markTraceEnd records the program's exact dynamic length the first time

@@ -19,7 +19,7 @@ import (
 // as a differential anchor for tests: any out-of-order configuration
 // must commit the same instructions and never be slower.
 type InOrder struct {
-	trace *emu.Trace
+	trace emu.Stream
 	hier  *cache.Hierarchy
 	bp    *bpred.Predictor
 	res   stats.Run
@@ -28,7 +28,7 @@ type InOrder struct {
 
 // NewInOrder builds the reference model. Only the cache selection of cfg
 // is consulted (PerfectCaches); widths and policies do not apply.
-func NewInOrder(cfg config.Machine, trace *emu.Trace) *InOrder {
+func NewInOrder(cfg config.Machine, trace emu.Stream) *InOrder {
 	h := cache.Table2()
 	if cfg.PerfectCaches {
 		h = cache.Perfect()

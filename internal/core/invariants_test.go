@@ -16,51 +16,117 @@ func (p *Pipeline) checkInvariants() error {
 	if p.dispatchSeq-p.headSeq > int64(p.cfg.Window) {
 		return fmt.Errorf("window over-full: head=%d dispatch=%d", p.headSeq, p.dispatchSeq)
 	}
-	// Sorted pending lists contain only valid, in-flight, un-completed stores.
-	checkList := func(name string, lst []int64) error {
-		for i, s := range lst {
-			if i > 0 && lst[i-1] >= s {
-				return fmt.Errorf("%s not strictly ascending at %d: %v", name, i, lst)
+	// Pending store lists contain only valid, in-flight stores, in
+	// strictly ascending order, with consistent intrusive links.
+	checkList := func(name string, l *seqList) error {
+		count, prev := 0, int64(-1)
+		for s := l.head; s != nilSlot; s = l.next[s] {
+			if count++; count > p.cfg.Window {
+				return fmt.Errorf("%s: link cycle", name)
 			}
-			e := p.slot(s)
-			if !e.valid || e.di.Seq != s {
-				return fmt.Errorf("%s references dead seq %d", name, s)
+			if !l.in[s] {
+				return fmt.Errorf("%s: slot %d linked but not marked present", name, s)
+			}
+			seq := l.seq[s]
+			if seq <= prev {
+				return fmt.Errorf("%s not strictly ascending: %d after %d", name, seq, prev)
+			}
+			prev = seq
+			e := p.slot(seq)
+			if !e.valid || e.di.Seq != seq {
+				return fmt.Errorf("%s references dead seq %d", name, seq)
 			}
 			if !e.di.IsStore() {
-				return fmt.Errorf("%s references non-store seq %d", name, s)
+				return fmt.Errorf("%s references non-store seq %d", name, seq)
+			}
+		}
+		if count != l.n {
+			return fmt.Errorf("%s: chain length %d != recorded %d", name, count, l.n)
+		}
+		return nil
+	}
+	if err := checkList("pendingStores", &p.pendingStores); err != nil {
+		return err
+	}
+	if err := checkList("unpostedStores", &p.unpostedStores); err != nil {
+		return err
+	}
+	if err := checkList("pendingBarriers", &p.pendingBarriers); err != nil {
+		return err
+	}
+	// A completed store must not be in pendingStores.
+	for s := p.pendingStores.head; s != nilSlot; s = p.pendingStores.next[s] {
+		if p.slot(p.pendingStores.seq[s]).completed {
+			return fmt.Errorf("completed store %d still pending", p.pendingStores.seq[s])
+		}
+	}
+	// Address tables reference live entries of the right kind, hashed to
+	// the right bucket, with each chain in ascending sequence order.
+	checkTable := func(name string, t *addrTable, wantLoad bool) error {
+		for b := range t.bhead {
+			prev := int64(-1)
+			for s := t.bhead[b]; s != nilSlot; s = t.next[s] {
+				if !t.in[s] {
+					return fmt.Errorf("%s: slot %d linked but not marked present", name, s)
+				}
+				if int(t.bucket(t.addr[s])) != b {
+					return fmt.Errorf("%s: addr %#x in bucket %d", name, t.addr[s], b)
+				}
+				seq := t.seq[s]
+				if seq <= prev {
+					return fmt.Errorf("%s bucket %d not ascending: %d after %d", name, b, seq, prev)
+				}
+				prev = seq
+				e := p.slot(seq)
+				if !e.valid || e.di.Seq != seq || e.di.Addr != t.addr[s] {
+					return fmt.Errorf("%s stale seq %d", name, seq)
+				}
+				if wantLoad != e.di.IsLoad() {
+					return fmt.Errorf("%s references wrong-kind seq %d", name, seq)
+				}
 			}
 		}
 		return nil
 	}
-	if err := checkList("pendingStores", p.pendingStores); err != nil {
+	if err := checkTable("stores", &p.stores, false); err != nil {
 		return err
 	}
-	if err := checkList("unpostedStores", p.unpostedStores); err != nil {
+	if err := checkTable("loads", &p.loads, true); err != nil {
 		return err
 	}
-	if err := checkList("pendingBarriers", p.pendingBarriers); err != nil {
-		return err
-	}
-	// A completed store must not be in pendingStores.
-	for _, s := range p.pendingStores {
-		if p.slot(s).completed {
-			return fmt.Errorf("completed store %d still pending", s)
-		}
-	}
-	// Address maps reference live entries of the right kind.
-	for addr, lst := range p.storesByAddr {
-		for _, s := range lst {
-			e := p.slot(s)
-			if !e.valid || e.di.Seq != s || !e.di.IsStore() || e.di.Addr != addr {
-				return fmt.Errorf("storesByAddr[%#x] stale seq %d", addr, s)
+	// Scheduling state: candidates are never parked; a slot parked on a
+	// producer appears exactly once on that producer's waiter list, and
+	// waiter lists are consistent with the parkedOn map.
+	if !p.scanMode {
+		for s := int32(0); s < int32(p.cfg.Window); s++ {
+			if p.cand.has(s) && p.parkedOn[s] != parkNone {
+				return fmt.Errorf("candidate slot %d is parked on %d", s, p.parkedOn[s])
 			}
 		}
-	}
-	for addr, lst := range p.loadsByAddr {
-		for _, s := range lst {
-			e := p.slot(s)
-			if !e.valid || e.di.Seq != s || !e.di.IsLoad() || e.di.Addr != addr {
-				return fmt.Errorf("loadsByAddr[%#x] stale seq %d", addr, s)
+		for q := range p.wHead {
+			for w := p.wHead[q]; w != nilSlot; w = p.wNext[w] {
+				if p.parkedOn[w] != int32(q) {
+					return fmt.Errorf("waiter %d on list %d but parked on %d", w, q, p.parkedOn[w])
+				}
+				if nw := p.wNext[w]; nw != nilSlot && p.wPrev[nw] != w {
+					return fmt.Errorf("waiter list %d back-link broken at %d", q, w)
+				}
+			}
+		}
+		for s := range p.parkedOn {
+			q := p.parkedOn[s]
+			if q < 0 {
+				continue // not parked, or waiting on a timed event
+			}
+			found := false
+			for w := p.wHead[q]; w != nilSlot; w = p.wNext[w] {
+				if w == int32(s) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("slot %d parked on %d but not on its waiter list", s, q)
 			}
 		}
 	}
@@ -96,24 +162,31 @@ func TestInvariantsUnderAllPolicies(t *testing.T) {
 		config.Default128().WithPolicy(config.Naive).WithSplitWindow(4),
 	}
 	for _, cfg := range cfgs {
-		cfg := cfg
-		t.Run(cfg.Name(), func(t *testing.T) {
-			pl, err := New(cfg, emu.NewTrace(emu.New(workload.MustBuild("129.compress"))))
-			if err != nil {
-				t.Fatal(err)
+		for _, scan := range []bool{false, true} {
+			cfg, scan := cfg, scan
+			mode := "event"
+			if scan {
+				mode = "scan"
 			}
-			for i := 0; i < 4000; i++ {
-				pl.step()
-				if i%7 == 0 { // checking every cycle is slow; sample densely
-					if err := pl.checkInvariants(); err != nil {
-						t.Fatalf("cycle %d: %v", i, err)
+			t.Run(cfg.Name()+"/"+mode, func(t *testing.T) {
+				pl, err := New(cfg, emu.NewTrace(emu.New(workload.MustBuild("129.compress"))))
+				if err != nil {
+					t.Fatal(err)
+				}
+				pl.SetScanScheduler(scan)
+				for i := 0; i < 4000; i++ {
+					pl.step()
+					if i%7 == 0 { // checking every cycle is slow; sample densely
+						if err := pl.checkInvariants(); err != nil {
+							t.Fatalf("cycle %d: %v", i, err)
+						}
 					}
 				}
-			}
-			if pl.res.Committed == 0 {
-				t.Fatal("no progress")
-			}
-		})
+				if pl.res.Committed == 0 {
+					t.Fatal("no progress")
+				}
+			})
+		}
 	}
 }
 

@@ -16,14 +16,29 @@ func max64(a, b int64) int64 {
 	return b
 }
 
-// issue is the out-of-order issue stage. The continuous window scans
-// strictly oldest-first (program order priority, §2.2); the split window
-// rotates across units, giving no global program-order priority.
+// issue is the out-of-order issue stage. The continuous window examines
+// entries strictly oldest-first (program order priority, §2.2); the
+// split window rotates across units, giving no global program-order
+// priority. The event-driven walks visit only wakeup candidates; the
+// scan walks (scan mode) visit the whole in-flight range. Both reach
+// issuable entries in the same order with the same issue-width cutoff,
+// so they issue identically cycle for cycle.
 func (p *Pipeline) issue() {
-	if p.cfg.SplitWindow {
-		p.issueSplit()
-		return
+	switch {
+	case p.scanMode && p.cfg.SplitWindow:
+		p.issueSplitScan()
+	case p.scanMode:
+		p.issueScan()
+	case p.cfg.SplitWindow:
+		p.issueSplitEvent()
+	default:
+		p.issueEvent()
 	}
+}
+
+// issueScan is the legacy continuous-window issue stage: a full
+// headSeq→dispatchSeq scan every cycle.
+func (p *Pipeline) issueScan() {
 	for seq := p.headSeq; seq < p.dispatchSeq && p.issueLeft > 0; seq++ {
 		e := p.slot(seq)
 		if !e.valid || e.di.Seq != seq {
@@ -33,10 +48,43 @@ func (p *Pipeline) issue() {
 	}
 }
 
-// issueSplit performs round-robin issue across split-window units: each
-// pass offers one issue opportunity per unit, starting from a rotating
-// unit, until the issue width is exhausted or nothing can issue.
-func (p *Pipeline) issueSplit() {
+// issueEvent is the event-driven continuous-window issue stage: it
+// examines only the wakeup candidates, oldest first — the same order
+// the scan reaches them in, because parked entries are exactly those
+// whose examination neither issues nor has side effects. Loads past
+// address generation stay candidates even while blocked, since
+// examining them drives the false-dependence accounting (couldIssue,
+// fdCounted) that must match the scan cycle for cycle. Ascending
+// sequence order is the bitmap's rotated slot order: slots [head, W)
+// first, then the wrapped slots [0, head).
+func (p *Pipeline) issueEvent() {
+	w := int32(p.cfg.Window)
+	h := p.slotIndex(p.headSeq)
+	lo, hi := h, w
+	for phase := 0; phase < 2 && p.issueLeft > 0; phase++ {
+		for s := p.cand.next(lo, hi); s != nilSlot && p.issueLeft > 0; s = p.cand.next(s+1, hi) {
+			e := &p.rob[s]
+			if !e.valid {
+				p.cand.clear(s) // candidate committed or squashed since
+				continue
+			}
+			p.parkReq = parkNone
+			if p.tryIssue(e) {
+				p.activity = true
+				p.afterIssue(s, e)
+			} else {
+				p.applyParkReq(s)
+			}
+		}
+		lo, hi = 0, h
+	}
+}
+
+// issueSplitScan is the legacy split-window issue stage: round-robin
+// across units, each pass offering one issue opportunity per unit,
+// starting from a rotating unit, until the issue width is exhausted or
+// nothing can issue.
+func (p *Pipeline) issueSplitScan() {
 	units := p.cfg.SplitUnits
 	taskSize := int64(p.cfg.Window / units)
 	// Per-unit cursors over the in-flight range.
@@ -71,6 +119,132 @@ func (p *Pipeline) issueSplit() {
 	p.issueRotate++
 }
 
+// issueSplitEvent is the event-driven split-window issue stage: the
+// same rotating per-unit passes as issueSplitScan, walking each unit's
+// candidates instead of its whole sub-window. Each unit's task occupies
+// the contiguous slot range [u*task, (u+1)*task), so its candidates are
+// a sub-range of the shared bitmap, iterated in the rotated order that
+// matches ascending sequence numbers. Per-unit cursors persist across
+// passes; nothing unblocks within a cycle (all completion conditions
+// are of the form "cycle >= t" with t strictly in the future at issue),
+// so an exhausted unit stays exhausted for the rest of the cycle.
+func (p *Pipeline) issueSplitEvent() {
+	units := p.cfg.SplitUnits
+	w := int32(p.cfg.Window)
+	task := w / int32(units)
+	h := p.slotIndex(p.headSeq)
+	cur := p.splitCursors
+	for u := range cur {
+		cur[u] = 0
+	}
+	for p.issueLeft > 0 {
+		progress := false
+		for off := 0; off < units && p.issueLeft > 0; off++ {
+			u := (p.issueRotate + off) % units
+			a := int32(u) * task
+			b := a + task
+			st := a // rotation point: the unit's oldest possible slot
+			if h > a && h < b {
+				st = h
+			}
+			v := cur[u]
+			for v < task {
+				// Map the rotated cursor back to a slot: positions
+				// [0, b-st) are slots [st, b); the rest wrap to [a, st).
+				var s int32
+				if v < b-st {
+					s = p.cand.next(st+v, b)
+					if s == nilSlot {
+						v = b - st
+						continue
+					}
+					v = s - st
+				} else {
+					s = p.cand.next(a+(v-(b-st)), st)
+					if s == nilSlot {
+						v = task
+						break
+					}
+					v = (b - st) + (s - a)
+				}
+				e := &p.rob[s]
+				if !e.valid {
+					p.cand.clear(s) // candidate committed or squashed since
+					v++
+					continue
+				}
+				p.parkReq = parkNone
+				if p.tryIssue(e) {
+					p.activity = true
+					p.afterIssue(s, e)
+					if !p.cand.has(s) {
+						// Fully issued or parked; otherwise stay to
+						// revisit: the entry may have a second uop.
+						v++
+					}
+					progress = true
+					break
+				}
+				p.applyParkReq(s)
+				v++
+			}
+			cur[u] = v
+		}
+		if !progress {
+			break
+		}
+	}
+	p.issueRotate++
+}
+
+// afterIssue updates the candidate set after a successful issue: a
+// fully issued entry leaves; an entry whose next phase is purely timed
+// (its address generation is in flight) parks until the event it
+// scheduled for itself fires.
+func (p *Pipeline) afterIssue(s int32, e *robEntry) {
+	if p.parkReq == parkTimer {
+		p.parkTimed(s)
+		return
+	}
+	if entryFullyIssued(e) {
+		p.cand.clear(s)
+	}
+}
+
+// entryFullyIssued reports that the entry has no pending uop left to
+// issue (its remaining progress is pure latency).
+func entryFullyIssued(e *robEntry) bool {
+	if e.isMem {
+		return e.memIssued
+	}
+	return e.state != stWaiting
+}
+
+// applyParkReq parks a blocked candidate when its failed issue attempt
+// named a wakeup source. Entries blocked on policy conditions or
+// per-cycle resources stay candidates and are re-examined every cycle —
+// their examination performs the same (idempotent) accounting the
+// scan's would, and their unblocking is not tied to a single event.
+func (p *Pipeline) applyParkReq(s int32) {
+	switch p.parkReq {
+	case parkNone:
+	case parkTimer:
+		p.parkTimed(s)
+	default:
+		p.parkOn(s, p.parkReq)
+	}
+}
+
+// requestParkDep asks the issue walk to park the current candidate on
+// the window slot of its unready producer. This is safe even when
+// (split window) the producer has not been dispatched yet: dep lies in
+// [headSeq, headSeq+Window), so slot dep%Window can only be occupied by
+// dep itself until dep commits, and dep's own issue will push the
+// wakeup event.
+func (p *Pipeline) requestParkDep(dep int64) {
+	p.parkReq = p.slotIndex(dep)
+}
+
 // unitOf returns the split-window unit owning seq.
 func (p *Pipeline) unitOf(seq int64) int {
 	taskSize := int64(p.cfg.Window / p.cfg.SplitUnits)
@@ -80,11 +254,10 @@ func (p *Pipeline) unitOf(seq int64) int {
 // tryIssue attempts to issue the entry's next pending uop; it reports
 // whether anything issued this call.
 func (p *Pipeline) tryIssue(e *robEntry) bool {
-	op := e.di.Inst.Op
 	switch {
-	case op.IsLoad():
+	case e.isLoad:
 		return p.tryIssueLoad(e)
-	case op.IsStore():
+	case e.isStore:
 		return p.tryIssueStore(e)
 	default:
 		return p.tryIssueSimple(e)
@@ -101,7 +274,7 @@ func (p *Pipeline) depReady(dep int64) bool {
 		// Split window: the producer has not even been fetched yet.
 		return false
 	}
-	if e.di.IsLoad() || e.di.IsStore() {
+	if e.isMem {
 		return e.memIssued && p.cycle >= e.memDone
 	}
 	return e.state == stIssued && p.cycle >= e.doneCycle
@@ -115,7 +288,7 @@ func (p *Pipeline) markPropagated(deps ...int64) {
 			continue
 		}
 		e := p.slot(dep)
-		if e.valid && e.di.Seq == dep && e.di.IsLoad() {
+		if e.valid && e.di.Seq == dep && e.isLoad {
 			e.propagated = true
 		}
 	}
@@ -151,18 +324,24 @@ func (p *Pipeline) tryIssueSimple(e *robEntry) bool {
 	if e.state != stWaiting {
 		return false
 	}
-	if !p.depReady(e.dep1) || !p.depReady(e.dep2) {
+	if !p.depReady(e.dep1) {
+		p.requestParkDep(e.dep1)
 		return false
 	}
-	if p.issueLeft == 0 || !p.takeFU(e.di.Inst.Op.Class()) {
+	if !p.depReady(e.dep2) {
+		p.requestParkDep(e.dep2)
+		return false
+	}
+	if p.issueLeft == 0 || !p.takeFU(e.class) {
 		return false
 	}
 	p.issueLeft--
 	e.state = stIssued
 	e.issueCycle = p.cycle
-	e.doneCycle = p.cycle + int64(e.di.Inst.Op.Class().Latency())
+	e.doneCycle = p.cycle + e.latency
+	p.schedule(e.doneCycle, p.slotIndex(e.di.Seq))
 	p.markPropagated(e.dep1, e.dep2)
-	if e.di.IsBranch() {
+	if e.isBranch {
 		p.resolveBranch(e)
 	}
 	return true
@@ -210,7 +389,11 @@ func (p *Pipeline) tryIssueStore(e *robEntry) bool {
 	}
 	if p.cfg.UseAddressScheduler {
 		if !e.agenIssued {
-			if !p.depReady(e.dep1) || p.issueLeft == 0 || !p.takeFU(isa.ClassIntALU) {
+			if !p.depReady(e.dep1) {
+				p.requestParkDep(e.dep1)
+				return false
+			}
+			if p.issueLeft == 0 || !p.takeFU(isa.ClassIntALU) {
 				return false
 			}
 			p.issueLeft--
@@ -218,10 +401,22 @@ func (p *Pipeline) tryIssueStore(e *robEntry) bool {
 			e.addrReady = p.cycle + agenLatency
 			e.addrPosted = e.addrReady + int64(p.cfg.SchedulerLatency)
 			p.postQ = append(p.postQ, e.di.Seq)
+			s := p.slotIndex(e.di.Seq)
+			p.schedule(e.addrReady, s)  // wake the data-merge phase
+			p.schedule(e.addrPosted, s) // fire the posting in postQ
+			p.parkReq = parkTimer
 			p.markPropagated(e.dep1)
 			return true
 		}
-		if p.cycle < e.addrReady || !p.depReady(e.dep2) || p.issueLeft == 0 {
+		if p.cycle < e.addrReady {
+			p.parkReq = parkTimer // the agen event is already scheduled
+			return false
+		}
+		if !p.depReady(e.dep2) {
+			p.requestParkDep(e.dep2)
+			return false
+		}
+		if p.issueLeft == 0 {
 			return false
 		}
 		p.issueLeft--
@@ -231,11 +426,17 @@ func (p *Pipeline) tryIssueStore(e *robEntry) bool {
 		e.state = stIssued
 		e.doneCycle = e.memDone
 		p.compQ = append(p.compQ, e.di.Seq)
+		p.schedule(e.memDone, p.slotIndex(e.di.Seq))
 		p.markPropagated(e.dep2)
 		return true
 	}
 	// NAS: single issue event needing base and data.
-	if !p.depReady(e.dep1) || !p.depReady(e.dep2) {
+	if !p.depReady(e.dep1) {
+		p.requestParkDep(e.dep1)
+		return false
+	}
+	if !p.depReady(e.dep2) {
+		p.requestParkDep(e.dep2)
 		return false
 	}
 	if p.issueLeft == 0 || !p.takeFU(isa.ClassIntALU) {
@@ -249,6 +450,7 @@ func (p *Pipeline) tryIssueStore(e *robEntry) bool {
 	e.doneCycle = e.memDone
 	e.addrReady = e.memDone
 	p.compQ = append(p.compQ, e.di.Seq)
+	p.schedule(e.memDone, p.slotIndex(e.di.Seq))
 	p.markPropagated(e.dep1, e.dep2)
 	return true
 }
@@ -258,16 +460,26 @@ func (p *Pipeline) tryIssueStore(e *robEntry) bool {
 // the active load/store policy).
 func (p *Pipeline) tryIssueLoad(e *robEntry) bool {
 	if !e.agenIssued {
-		if !p.depReady(e.dep1) || p.issueLeft == 0 || !p.takeFU(isa.ClassIntALU) {
+		if !p.depReady(e.dep1) {
+			p.requestParkDep(e.dep1)
+			return false
+		}
+		if p.issueLeft == 0 || !p.takeFU(isa.ClassIntALU) {
 			return false
 		}
 		p.issueLeft--
 		e.agenIssued = true
 		e.addrReady = p.cycle + agenLatency
+		p.schedule(e.addrReady, p.slotIndex(e.di.Seq))
+		p.parkReq = parkTimer
 		p.markPropagated(e.dep1)
 		return true
 	}
-	if e.memIssued || p.cycle < e.addrReady {
+	if e.memIssued {
+		return false
+	}
+	if p.cycle < e.addrReady {
+		p.parkReq = parkTimer // the agen event is already scheduled
 		return false
 	}
 	if e.couldIssue == notYet {
@@ -281,6 +493,7 @@ func (p *Pipeline) tryIssueLoad(e *robEntry) bool {
 			e.fdCounted = true
 			e.fdFalse = !p.trueDepPending(e)
 		}
+		p.parkOnStoreBlock(e)
 		return false
 	}
 	if p.issueLeft == 0 || p.portLeft == 0 {
@@ -314,14 +527,14 @@ func (p *Pipeline) loadEligible(e *robEntry) (eligible, storeWait bool) {
 		}
 		return true, false
 	case config.StoreBarrier:
-		if len(p.pendingBarriers) > 0 && p.pendingBarriers[0] < seq {
+		if !p.pendingBarriers.empty() && p.pendingBarriers.minSeq() < seq {
 			return false, true
 		}
 		return true, false
 	case config.Sync, config.StoreSets:
 		if e.hasSyn && e.syncOnSeq != noSeq {
 			s := p.slot(e.syncOnSeq)
-			if s.valid && s.di.Seq == e.syncOnSeq && s.di.IsStore() {
+			if s.valid && s.di.Seq == e.syncOnSeq && s.isStore {
 				// Free to issue one cycle after the producer issues.
 				if !s.memIssued || p.cycle < s.memIssue+1 {
 					return false, true
@@ -364,30 +577,62 @@ func (p *Pipeline) loadEligibleAS(e *robEntry) (eligible, storeWait bool) {
 // anyPendingStoreBefore reports whether any store older than seq has not
 // yet executed.
 func (p *Pipeline) anyPendingStoreBefore(seq int64) bool {
-	return len(p.pendingStores) > 0 && p.pendingStores[0] < seq
+	return !p.pendingStores.empty() && p.pendingStores.minSeq() < seq
 }
 
 // anyUnpostedStoreBefore reports whether any store older than seq has
 // not yet posted its address to the scheduler.
 func (p *Pipeline) anyUnpostedStoreBefore(seq int64) bool {
-	return len(p.unpostedStores) > 0 && p.unpostedStores[0] < seq
+	return !p.unpostedStores.empty() && p.unpostedStores.minSeq() < seq
 }
 
 // youngestPostedMatch returns the youngest store older than loadSeq
-// whose posted address matches addr, or nil.
+// whose posted address matches addr, or nil. The bucket chain is
+// sequence-sorted, so the first youngest-first hit on addr wins.
 func (p *Pipeline) youngestPostedMatch(addr uint32, loadSeq int64) *robEntry {
-	lst := p.storesByAddr[addr]
-	for i := len(lst) - 1; i >= 0; i-- {
-		s := lst[i]
-		if s >= loadSeq {
+	t := &p.stores
+	b := t.bucket(addr)
+	for s := t.btail[b]; s != nilSlot; s = t.prev[s] {
+		if t.addr[s] != addr || t.seq[s] >= loadSeq {
 			continue
 		}
-		e := p.slot(s)
-		if e.valid && e.di.Seq == s {
+		e := &p.rob[s]
+		if e.valid && e.di.Seq == t.seq[s] {
 			return e
 		}
 	}
 	return nil
+}
+
+// parkOnStoreBlock parks a policy-blocked load on the store responsible
+// for the block, for the policies whose block releases only at a store
+// completion (or address posting) — both event-covered on the store's
+// slot, so the load is re-examined the cycle its eligibility can first
+// change. The load may wake to find a different store now blocking; it
+// then re-parks on that one. Policies whose blocks release on store
+// *issue* (Sync, StoreSets, Oracle, posted-address matches) keep the
+// load as a candidate: their release cycle (memIssue+1) precedes the
+// store's completion event, so a park could wake too late.
+func (p *Pipeline) parkOnStoreBlock(e *robEntry) {
+	seq := e.di.Seq
+	if p.cfg.UseAddressScheduler {
+		if p.cfg.Policy == config.NoSpec && p.anyUnpostedStoreBefore(seq) {
+			p.parkReq = p.slotIndex(p.unpostedStores.minSeq())
+		}
+		return
+	}
+	switch p.cfg.Policy {
+	case config.NoSpec:
+		p.parkReq = p.slotIndex(p.pendingStores.minSeq())
+	case config.Selective:
+		if e.waitAll && p.anyPendingStoreBefore(seq) {
+			p.parkReq = p.slotIndex(p.pendingStores.minSeq())
+		}
+	case config.StoreBarrier:
+		if !p.pendingBarriers.empty() && p.pendingBarriers.minSeq() < seq {
+			p.parkReq = p.slotIndex(p.pendingBarriers.minSeq())
+		}
+	}
 }
 
 // trueDepPending reports whether the load's architectural producer store
@@ -450,24 +695,24 @@ func (p *Pipeline) issueLoadMem(e *robEntry) {
 	e.memDone = done
 	e.doneCycle = done
 	e.state = stIssued
-	// Loads issue out of order, so keep the per-address list sorted for
-	// the sorted-removal helpers.
-	lst := p.loadsByAddr[e.di.Addr]
-	insertSorted(&lst, e.di.Seq)
-	p.loadsByAddr[e.di.Addr] = lst
+	s := p.slotIndex(e.di.Seq)
+	p.schedule(done, s)
+	// Loads issue out of order; the table keeps per-address chains
+	// sequence-sorted for the violation scan.
+	p.loads.insert(s, e.di.Addr, e.di.Seq)
 }
 
 // youngestExecutedMatch returns the youngest executed in-window store
 // older than loadSeq writing addr, or nil.
 func (p *Pipeline) youngestExecutedMatch(addr uint32, loadSeq int64) *robEntry {
-	lst := p.storesByAddr[addr]
-	for i := len(lst) - 1; i >= 0; i-- {
-		s := lst[i]
-		if s >= loadSeq {
+	t := &p.stores
+	b := t.bucket(addr)
+	for s := t.btail[b]; s != nilSlot; s = t.prev[s] {
+		if t.addr[s] != addr || t.seq[s] >= loadSeq {
 			continue
 		}
-		e := p.slot(s)
-		if e.valid && e.di.Seq == s && e.memIssued && p.cycle >= e.memDone {
+		e := &p.rob[s]
+		if e.valid && e.di.Seq == t.seq[s] && e.memIssued && p.cycle >= e.memDone {
 			return e
 		}
 	}

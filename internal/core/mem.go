@@ -21,10 +21,10 @@ func (p *Pipeline) processStoreEvents() {
 			}
 			// The address is now visible to the scheduler: it no longer
 			// blocks AS/NO loads, and matching loads will wait on it.
-			removeSorted(&p.unpostedStores, seq)
-			lst := p.storesByAddr[e.di.Addr]
-			insertSorted(&lst, seq)
-			p.storesByAddr[e.di.Addr] = lst
+			s := p.slotIndex(seq)
+			p.unpostedStores.remove(s, seq)
+			p.stores.insert(s, e.di.Addr, seq)
+			p.activity = true
 		}
 		p.postQ = keep
 	}
@@ -40,6 +40,7 @@ func (p *Pipeline) processStoreEvents() {
 				continue
 			}
 			p.completeStore(e)
+			p.activity = true
 		}
 		p.compQ = keep
 	}
@@ -49,18 +50,17 @@ func (p *Pipeline) processStoreEvents() {
 // buffer and its address is known to the violation-detection hardware.
 func (p *Pipeline) completeStore(e *robEntry) {
 	seq := e.di.Seq
+	s := p.slotIndex(seq)
 	e.completed = true
-	removeSorted(&p.pendingStores, seq)
+	p.pendingStores.remove(s, seq)
 	if e.barrier {
-		removeSorted(&p.pendingBarriers, seq)
+		p.pendingBarriers.remove(s, seq)
 	}
 	if !p.cfg.UseAddressScheduler {
 		// Under AS the address was published at posting time.
-		lst := p.storesByAddr[e.di.Addr]
-		insertSorted(&lst, seq)
-		p.storesByAddr[e.di.Addr] = lst
+		p.stores.insert(s, e.di.Addr, seq)
 	} else {
-		removeSorted(&p.unpostedStores, seq)
+		p.unpostedStores.remove(s, seq)
 	}
 	p.checkViolations(e)
 }
@@ -72,12 +72,24 @@ func (p *Pipeline) completeStore(e *robEntry) {
 // to a dependent, and the value must differ — otherwise the load's value
 // is silently corrected in the store buffer.
 func (p *Pipeline) checkViolations(st *robEntry) {
-	lst := p.loadsByAddr[st.di.Addr]
 	stSeq := st.di.Seq
-	for _, ls := range lst {
-		if ls <= stSeq {
-			continue
+	// Snapshot the matching younger loads before processing them. The
+	// recovery actions below (squashFrom, selectiveInvalidate) remove
+	// loads from the very address chain being walked — including loads
+	// other than the one being recovered, when consumers are reset
+	// transitively — so iterating the live chain would skip entries
+	// mid-scan. The snapshot is ascending in sequence number (the chain
+	// is sorted), and every entry is revalidated before processing.
+	t := &p.loads
+	scratch := p.violScratch[:0]
+	b := t.bucket(st.di.Addr)
+	for s := t.bhead[b]; s != nilSlot; s = t.next[s] {
+		if t.addr[s] == st.di.Addr && t.seq[s] > stSeq {
+			scratch = append(scratch, t.seq[s])
 		}
+	}
+	p.violScratch = scratch
+	for _, ls := range scratch {
 		le := p.slot(ls)
 		if !le.valid || le.di.Seq != ls || !le.memIssued {
 			continue
@@ -96,6 +108,7 @@ func (p *Pipeline) checkViolations(st *robEntry) {
 			if !le.propagated {
 				nd := max64(le.memDone, p.cycle+1)
 				le.memDone, le.doneCycle = nd, nd
+				p.schedule(nd, p.slotIndex(ls))
 			}
 			continue
 		}
@@ -104,6 +117,12 @@ func (p *Pipeline) checkViolations(st *robEntry) {
 			p.selectiveInvalidate(le, st)
 			continue // later loads of the same word may also need fixing
 		}
+		// Returning mid-scan after a squash is correct, not an early
+		// exit: the snapshot is ascending, so every remaining entry is
+		// younger than the squashed load and was just invalidated by
+		// squashFrom (which kills the load and everything after it).
+		// Re-executed loads re-enter the chain and, if they misspeculate
+		// again, are caught by a later completion's scan.
 		p.squashFrom(le, st)
 		return
 	}
@@ -119,30 +138,51 @@ func (p *Pipeline) selectiveInvalidate(load, st *robEntry) {
 	p.trainPredictors(load.di.PC, st.di.PC)
 
 	// The load re-executes by forwarding the just-completed store.
+	loadSeq := load.di.Seq
 	load.valueSource = st.di.Seq
 	load.specValue = st.di.StoreVal
 	load.propagated = false
 	nd := max64(p.cycle+1+int64(p.cfg.SquashOverhead), st.memDone+1)
 	load.memDone, load.doneCycle = nd, nd
+	p.schedule(nd, p.slotIndex(loadSeq))
 	p.res.SquashedInsts++ // work redone
 
-	// Transitively reset consumers of invalidated values.
-	invalid := map[int64]bool{load.di.Seq: true}
-	for seq := load.di.Seq + 1; seq < p.dispatchSeq; seq++ {
+	// Transitively reset consumers of invalidated values. The invalid
+	// set is a generation-stamped mark per window slot (invGen/invSeq):
+	// bumping curGen clears the previous pass for free, so no per-call
+	// map is allocated.
+	p.curGen++
+	g := p.curGen
+	s0 := p.slotIndex(loadSeq)
+	p.invGen[s0], p.invSeq[s0] = g, loadSeq
+	for seq := loadSeq + 1; seq < p.dispatchSeq; seq++ {
 		e := p.slot(seq)
 		if !e.valid || e.di.Seq != seq {
 			continue
 		}
-		depends := invalid[e.dep1] || invalid[e.dep2] ||
-			(e.di.IsLoad() && e.memIssued && invalid[e.valueSource])
+		depends := p.invalidated(e.dep1, g, loadSeq) || p.invalidated(e.dep2, g, loadSeq) ||
+			(e.isLoad && e.memIssued && p.invalidated(e.valueSource, g, loadSeq))
 		if !depends {
 			continue
 		}
 		if p.resetForReexecution(e) {
-			invalid[seq] = true
+			s := p.slotIndex(seq)
+			p.invGen[s], p.invSeq[s] = g, seq
 			p.res.SquashedInsts++
 		}
 	}
+}
+
+// invalidated reports whether seq was marked in invalidation pass g.
+// Marks older than base can never have been set this pass (only the
+// recovered load and younger consumers are marked), so the guard also
+// keeps noSeq and committed producers out of the slot arithmetic.
+func (p *Pipeline) invalidated(seq, g, base int64) bool {
+	if seq == noSeq || seq < base {
+		return false
+	}
+	s := p.slotIndex(seq)
+	return p.invGen[s] == g && p.invSeq[s] == seq
 }
 
 // trainPredictors records a violation with whichever dependence
@@ -165,13 +205,14 @@ func (p *Pipeline) trainPredictors(loadPC, storePC uint32) {
 // had produced (possibly wrong) state worth invalidating.
 func (p *Pipeline) resetForReexecution(e *robEntry) bool {
 	d := &e.di
+	s := p.slotIndex(d.Seq)
 	switch {
-	case d.IsLoad():
+	case e.isLoad:
 		if !e.agenIssued && !e.memIssued {
 			return false // never produced anything wrong
 		}
 		if e.memIssued {
-			p.removeAddrMap(p.loadsByAddr, d.Addr, d.Seq)
+			p.loads.removeSeq(s, d.Addr, d.Seq)
 		}
 		// If the base register value was wrong the address regenerates;
 		// the memory phase always redoes.
@@ -186,25 +227,26 @@ func (p *Pipeline) resetForReexecution(e *robEntry) bool {
 		e.fdCounted, e.fdFalse = false, false
 		e.couldIssue = notYet
 		e.state = stWaiting
+		p.candInsert(d.Seq)
 		return true
-	case d.IsStore():
+	case e.isStore:
 		if !e.agenIssued && !e.memIssued && e.state == stWaiting {
 			return false
 		}
 		if e.completed || p.storePosted(e) {
-			p.removeAddrMap(p.storesByAddr, d.Addr, d.Seq)
+			p.stores.removeSeq(s, d.Addr, d.Seq)
 		}
 		if e.completed {
 			// It left the pending sets at completion; make it pending
 			// again (stores still in compQ were never removed).
-			insertSorted(&p.pendingStores, d.Seq)
+			p.pendingStores.insert(s, d.Seq)
 			if e.barrier {
-				insertSorted(&p.pendingBarriers, d.Seq)
+				p.pendingBarriers.insert(s, d.Seq)
 			}
 			e.completed = false
 		}
 		if p.cfg.UseAddressScheduler && e.agenIssued {
-			insertSorted(&p.unpostedStores, d.Seq)
+			p.unpostedStores.insert(s, d.Seq)
 		}
 		e.agenIssued = false
 		e.addrReady = notYet
@@ -213,6 +255,7 @@ func (p *Pipeline) resetForReexecution(e *robEntry) bool {
 		e.memDone = notYet
 		e.doneCycle = notYet
 		e.state = stWaiting
+		p.candInsert(d.Seq)
 		return true
 	default:
 		if e.state == stWaiting {
@@ -220,6 +263,7 @@ func (p *Pipeline) resetForReexecution(e *robEntry) bool {
 		}
 		e.state = stWaiting
 		e.doneCycle = notYet
+		p.candInsert(d.Seq)
 		return true
 	}
 }
@@ -239,7 +283,10 @@ func (p *Pipeline) squashFrom(load, st *robEntry) {
 	p.squashes++
 	p.trainPredictors(loadPC, storePC)
 
-	// Invalidate every in-flight instruction at or after the load.
+	// Invalidate every in-flight instruction at or after the load. Each
+	// squashed slot is also detached from the scheduler: out of its
+	// candidate queue and off whatever waiter list it parked on (the
+	// producer may be older than the squash point and survive).
 	for seq := loadSeq; seq < p.dispatchSeq; seq++ {
 		e := p.slot(seq)
 		if !e.valid || e.di.Seq != seq {
@@ -247,21 +294,26 @@ func (p *Pipeline) squashFrom(load, st *robEntry) {
 		}
 		p.res.SquashedInsts++
 		d := &e.di
-		if d.Inst.Op.IsMem() {
+		s := p.slotIndex(seq)
+		if e.isMem {
 			p.memInFlight--
 		}
 		switch {
-		case d.IsStore():
-			removeSorted(&p.pendingStores, seq)
-			removeSorted(&p.unpostedStores, seq)
+		case e.isStore:
+			p.pendingStores.remove(s, seq)
+			p.unpostedStores.remove(s, seq)
 			if e.barrier {
-				removeSorted(&p.pendingBarriers, seq)
+				p.pendingBarriers.remove(s, seq)
 			}
-			p.removeAddrMap(p.storesByAddr, d.Addr, seq)
-		case d.IsLoad():
+			p.stores.removeSeq(s, d.Addr, seq)
+		case e.isLoad:
 			if e.memIssued {
-				p.removeAddrMap(p.loadsByAddr, d.Addr, seq)
+				p.loads.removeSeq(s, d.Addr, seq)
 			}
+		}
+		if !p.scanMode {
+			p.unpark(s)
+			p.cand.clear(s)
 		}
 		e.valid = false
 	}
@@ -305,20 +357,5 @@ func (p *Pipeline) squashFrom(load, st *robEntry) {
 		p.blockedOnBranch = noSeq
 		p.fetchResumeAt = max64(p.fetchResumeAt, resume)
 		p.haveFetchBlock = false
-	}
-}
-
-// removeAddrMap removes seq from the per-address list, deleting the
-// entry when it empties.
-func (p *Pipeline) removeAddrMap(m map[uint32][]int64, addr uint32, seq int64) {
-	lst, ok := m[addr]
-	if !ok {
-		return
-	}
-	removeSorted(&lst, seq)
-	if len(lst) == 0 {
-		delete(m, addr)
-	} else {
-		m[addr] = lst
 	}
 }

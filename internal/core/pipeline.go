@@ -10,10 +10,19 @@
 // order priority.
 //
 // The pipeline consumes the correct-path dynamic instruction stream from
-// an emu.Trace. Branch mispredictions stall fetch until the branch
-// resolves (no wrong-path execution); memory-order violations squash the
-// offending load and everything younger and rewind fetch (squash
-// invalidation).
+// an emu.Stream (a lazily emulated emu.Trace, or a shared emu.Recording
+// replayed across a sweep). Branch mispredictions stall fetch until the
+// branch resolves (no wrong-path execution); memory-order violations
+// squash the offending load and everything younger and rewind fetch
+// (squash invalidation).
+//
+// The issue stage is event-driven: completing instructions wake the
+// consumers parked on them, timed phases (address generation, memory
+// access, store posting) push events onto a per-cycle calendar wheel,
+// and cycles in which provably nothing can happen are skipped in one
+// jump to the next event. A legacy full-window scan scheduler is kept
+// behind SetScanScheduler as the executable specification; the golden
+// equivalence test holds the two to bit-identical statistics.
 package core
 
 import (
@@ -23,6 +32,7 @@ import (
 	"mdspec/internal/cache"
 	"mdspec/internal/config"
 	"mdspec/internal/emu"
+	"mdspec/internal/isa"
 	"mdspec/internal/mdp"
 	"mdspec/internal/stats"
 )
@@ -46,6 +56,12 @@ const noSeq int64 = -1
 type robEntry struct {
 	di    emu.DynInst // copied from the trace (stable across compaction)
 	state entryState
+
+	// Opcode predicates and execution class, decoded once at dispatch:
+	// the issue and commit stages consult them on every examination.
+	isLoad, isStore, isMem, isBranch bool
+	class                            isa.Class
+	latency                          int64
 
 	issueCycle int64
 	doneCycle  int64
@@ -101,6 +117,7 @@ const notYet int64 = 1 << 62
 type fetchRec struct {
 	seq      int64
 	ready    int64 // dispatchable at this cycle
+	isMem    bool  // decoded at fetch, for the dispatch LSQ check
 	bpHist   uint32
 	bpPred   bool
 	bpWrong  bool
@@ -112,7 +129,7 @@ type fetchRec struct {
 // Pipeline is one configured simulation instance.
 type Pipeline struct {
 	cfg   config.Machine
-	trace *emu.Trace
+	trace emu.Stream
 	hier  *cache.Hierarchy
 	bp    *bpred.Predictor
 
@@ -153,15 +170,15 @@ type Pipeline struct {
 	issueRotate    int
 
 	// Ordered (ascending seq) lists of in-window stores in various states.
-	pendingStores   []int64 // dispatched, not yet executed
-	unpostedStores  []int64 // AS: dispatched, address not yet posted
-	pendingBarriers []int64 // STORE: predicted barrier stores not yet executed
+	pendingStores   seqList // dispatched, not yet executed
+	unpostedStores  seqList // AS: dispatched, address not yet posted
+	pendingBarriers seqList // STORE: predicted barrier stores not yet executed
 
-	// storesByAddr: in-window stores whose address is known to the
-	// hardware (NAS: executed; AS: posted), keyed by word address.
-	// loadsByAddr: in-window loads that have performed their access.
-	storesByAddr map[uint32][]int64
-	loadsByAddr  map[uint32][]int64
+	// stores: in-window stores whose address is known to the hardware
+	// (NAS: executed; AS: posted), keyed by word address.
+	// loads: in-window loads that have performed their access.
+	stores addrTable
+	loads  addrTable
 
 	// postQ holds stores whose addresses are travelling to the address
 	// scheduler; compQ holds stores whose execution is completing.
@@ -182,10 +199,47 @@ type Pipeline struct {
 
 	// maxSquashDepth guards against pathological livelock (debugging).
 	squashes int64
+
+	// Event-driven scheduler state. scanMode selects the legacy
+	// full-window scan instead (candidate queues, parking, and the event
+	// heap then stay empty).
+	scanMode bool
+	cand     candSet    // wakeup candidate slots (iterated in rotated seq order)
+	events   eventWheel // pending completions / postings / corrections
+	activity bool       // anything happened this cycle (guards the cycle skip)
+
+	// slotMask is Window-1 when the window is a power of two (the common
+	// case), letting the slot mapping avoid an integer division.
+	slotMask int64
+
+	// Parking: parkedOn[s] is parkNone, parkTimer, or the producer slot
+	// whose waiter list (wHead/wNext/wPrev) slot s is linked into.
+	parkedOn            []int32
+	wHead, wNext, wPrev []int32
+
+	// parkReq carries a failed issue attempt's wakeup source out of
+	// tryIssue* (parkNone: stay a candidate; parkTimer: an event is
+	// already scheduled; else: the producer slot to park on).
+	parkReq int32
+
+	// splitCursors is the reusable per-unit cursor buffer of the
+	// split-window issue walk: each holds the unit's position in its
+	// rotated candidate sub-range (the scan version allocated its
+	// cursors per cycle).
+	splitCursors []int32
+
+	// Generation-stamped invalidation marks (selectiveInvalidate's
+	// transitive-consumer set; replaces a per-call map).
+	invGen, invSeq []int64
+	curGen         int64
+
+	// violScratch snapshots matching loads in checkViolations so
+	// recovery actions can edit the address chains mid-walk.
+	violScratch []int64
 }
 
-// New builds a pipeline over the given dynamic instruction trace.
-func New(cfg config.Machine, trace *emu.Trace) (*Pipeline, error) {
+// New builds a pipeline over the given dynamic instruction stream.
+func New(cfg config.Machine, trace emu.Stream) (*Pipeline, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -202,9 +256,34 @@ func New(cfg config.Machine, trace *emu.Trace) (*Pipeline, error) {
 		bp:              bpred.New(bpCfg),
 		rob:             make([]robEntry, cfg.Window),
 		blockedOnBranch: noSeq,
-		storesByAddr:    make(map[uint32][]int64),
-		loadsByAddr:     make(map[uint32][]int64),
 	}
+	w := cfg.Window
+	p.stores.init(w)
+	p.loads.init(w)
+	p.pendingStores.init(w)
+	p.unpostedStores.init(w)
+	p.pendingBarriers.init(w)
+	if w&(w-1) == 0 {
+		p.slotMask = int64(w - 1)
+	}
+	units := 1
+	if cfg.SplitWindow {
+		units = cfg.SplitUnits
+	}
+	p.cand.init(w)
+	p.splitCursors = make([]int32, units)
+	p.parkedOn = make([]int32, w)
+	p.wHead = make([]int32, w)
+	p.wNext = make([]int32, w)
+	p.wPrev = make([]int32, w)
+	for i := 0; i < w; i++ {
+		p.parkedOn[i] = parkNone
+		p.wHead[i] = nilSlot
+	}
+	p.invGen = make([]int64, w)
+	p.invSeq = make([]int64, w)
+	p.events.init()
+	p.violScratch = make([]int64, 0, 64)
 	switch cfg.Policy {
 	case config.Selective:
 		p.sel = mdp.NewSelective(cfg.PredictorTable)
@@ -234,7 +313,17 @@ func New(cfg config.Machine, trace *emu.Trace) (*Pipeline, error) {
 // Hierarchy exposes the memory system (for inspection in tests/examples).
 func (p *Pipeline) Hierarchy() *cache.Hierarchy { return p.hier }
 
+// SetScanScheduler selects the legacy full-window scan issue stage
+// instead of the event-driven scheduler. The two produce bit-identical
+// statistics (enforced by the golden equivalence test); the scan
+// version is kept as the executable specification the event-driven core
+// is validated against. Must be called before the first cycle runs.
+func (p *Pipeline) SetScanScheduler(on bool) { p.scanMode = on }
+
 func (p *Pipeline) slot(seq int64) *robEntry {
+	if p.slotMask != 0 {
+		return &p.rob[seq&p.slotMask]
+	}
 	return &p.rob[seq%int64(p.cfg.Window)]
 }
 
@@ -280,7 +369,11 @@ func (p *Pipeline) step() {
 	p.mulLeft = p.cfg.IntMulDivs
 	p.fpLeft = p.cfg.FPUnits
 	p.portLeft = p.cfg.MemPorts
+	p.activity = false
 
+	if !p.scanMode {
+		p.processWakeups()
+	}
 	// Stages are processed commit-first so that results produced this
 	// cycle are consumed no earlier than the next cycle.
 	p.processStoreEvents()
@@ -293,4 +386,7 @@ func (p *Pipeline) step() {
 		p.fetch()
 	}
 	p.cycle++
+	if !p.scanMode && !p.activity {
+		p.trySkip()
+	}
 }

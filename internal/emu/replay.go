@@ -1,0 +1,152 @@
+package emu
+
+import "sync"
+
+// recChunkShift sizes Recording chunks at 4096 instructions. Chunks are
+// immutable once linked in, so readers can index them without locks.
+const recChunkShift = 12
+
+const recChunkSize = 1 << recChunkShift
+
+type recChunk [recChunkSize]DynInst
+
+// Recording captures the dynamic instruction stream of a Machine exactly
+// once so that many timing configurations can replay it concurrently.
+// The paper's sweeps run every policy over the same benchmark slice; the
+// architectural stream is identical across configurations, so emulating
+// it per configuration is pure waste. A Recording is extended on demand
+// by whichever replay reads furthest ahead, under a mutex; completed
+// prefixes are published with release/acquire semantics so other replays
+// (possibly on other goroutines) index them lock-free.
+//
+// Memory is proportional to the recorded length (~88 B/inst, about
+// 13 MB for a 150k-instruction benchmark slice) and is shared by all
+// replays, unlike Trace, whose buffer is per-pipeline but stays
+// proportional to the instruction window.
+type Recording struct {
+	mu sync.Mutex // serializes extension of the stream
+	m  *Machine
+
+	chunksMu sync.RWMutex // guards growth of the chunk slice header
+	chunks   []*recChunk
+
+	lenMu sync.RWMutex
+	n     int64 // instructions recorded so far
+	done  bool  // machine halted; n is the exact program length
+}
+
+// NewRecording returns a Recording over m. The machine must not be
+// stepped directly once it is owned by a Recording.
+func NewRecording(m *Machine) *Recording {
+	return &Recording{m: m}
+}
+
+// length returns the published prefix length and whether the program has
+// ended within it.
+func (r *Recording) length() (int64, bool) {
+	r.lenMu.RLock()
+	n, done := r.n, r.done
+	r.lenMu.RUnlock()
+	return n, done
+}
+
+// snapshot returns the published chunk slice and prefix length. The
+// length is read first: extend links a chunk in before publishing the
+// length that covers it, so the returned slice always spans n.
+func (r *Recording) snapshot() ([]*recChunk, int64, bool) {
+	r.lenMu.RLock()
+	n, done := r.n, r.done
+	r.lenMu.RUnlock()
+	r.chunksMu.RLock()
+	chunks := r.chunks
+	r.chunksMu.RUnlock()
+	return chunks, n, done
+}
+
+// extend advances the recording until seq is covered or the program
+// halts. Only one goroutine extends at a time; the rest re-check the
+// published length after the lock drops.
+func (r *Recording) extend(seq int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, done := r.length()
+	for seq >= n && !done {
+		ci, off := n>>recChunkShift, n&(recChunkSize-1)
+		if off == 0 {
+			r.chunksMu.Lock()
+			r.chunks = append(r.chunks, new(recChunk))
+			r.chunksMu.Unlock()
+		}
+		r.chunksMu.RLock()
+		c := r.chunks[ci]
+		r.chunksMu.RUnlock()
+		// Fill the rest of the chunk (or stop at the program's end)
+		// before publishing, so the length bump is amortized.
+		filled := off
+		for ; filled < recChunkSize; filled++ {
+			if !r.m.Step(&c[filled]) {
+				done = true
+				break
+			}
+		}
+		n += filled - off
+		r.lenMu.Lock()
+		r.n, r.done = n, done
+		r.lenMu.Unlock()
+	}
+}
+
+// Replay is a read cursor over a Recording, satisfying Stream. Each
+// pipeline gets its own Replay; all replays share the recording's
+// storage. Release is a no-op: the recording is retained in full so
+// later configurations can replay from the start.
+//
+// The cursor keeps a private snapshot of the published prefix so the
+// common case — reading an already-recorded instruction — touches no
+// locks. A Replay must not be shared between goroutines (Recordings
+// may be; snapshots are refreshed through the recording's locks).
+type Replay struct {
+	r      *Recording
+	chunks []*recChunk
+	n      int64
+	done   bool
+}
+
+// NewReplay returns a fresh replay cursor over the recording.
+func (r *Recording) NewReplay() *Replay { return &Replay{r: r} }
+
+// At returns the dynamic instruction with sequence number seq, or nil if
+// the program halts before seq is reached.
+func (rp *Replay) At(seq int64) *DynInst {
+	if seq < rp.n {
+		c := rp.chunks[seq>>recChunkShift]
+		return &c[seq&(recChunkSize-1)]
+	}
+	return rp.atSlow(seq)
+}
+
+// atSlow refreshes the cursor's snapshot, extending the recording when
+// seq has genuinely not been recorded yet.
+func (rp *Replay) atSlow(seq int64) *DynInst {
+	for {
+		rp.chunks, rp.n, rp.done = rp.r.snapshot()
+		if seq < rp.n {
+			c := rp.chunks[seq>>recChunkShift]
+			return &c[seq&(recChunkSize-1)]
+		}
+		if rp.done {
+			return nil
+		}
+		rp.r.extend(seq)
+	}
+}
+
+// Release is a no-op; the recording is shared and retained in full.
+func (rp *Replay) Release(int64) {}
+
+// Len returns the number of instructions recorded so far. Once At has
+// returned nil it is the exact program length, matching Trace.Len.
+func (rp *Replay) Len() int64 {
+	n, _ := rp.r.length()
+	return n
+}

@@ -1,5 +1,17 @@
 package emu
 
+// Stream is the dynamic-instruction source consumed by timing models.
+// At returns the instruction with the given sequence number (nil once
+// the program has halted before seq); Release declares that records
+// below seq will never be requested again; Len reports the number of
+// instructions generated so far (the exact program length once At has
+// returned nil). Trace and Replay both satisfy it.
+type Stream interface {
+	At(seq int64) *DynInst
+	Release(seq int64)
+	Len() int64
+}
+
 // Trace is a lazily-extended buffer of dynamic instructions produced by a
 // Machine. Timing models index it by sequence number: the fetch stage
 // walks forward, squashes rewind to an earlier sequence number, and commit

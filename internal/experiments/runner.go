@@ -98,6 +98,7 @@ type Runner struct {
 
 	mu       sync.Mutex
 	progs    map[string]*prog.Program
+	recs     map[string]*emu.Recording
 	cache    map[runKey]*stats.Run
 	inflight map[runKey]*call
 	records  []RunRecord
@@ -135,6 +136,7 @@ func NewRunner(opt Options) *Runner {
 	r := &Runner{
 		opt:      opt,
 		progs:    make(map[string]*prog.Program),
+		recs:     make(map[string]*emu.Recording),
 		cache:    make(map[runKey]*stats.Run),
 		inflight: make(map[runKey]*call),
 	}
@@ -179,13 +181,32 @@ func (r *Runner) program(bench string) (*prog.Program, error) {
 	return p, nil
 }
 
-// simulate is the real simulation backend behind Run.
-func (r *Runner) simulate(_ context.Context, bench string, cfg config.Machine) (*stats.Run, error) {
+// recording returns the shared dynamic-instruction recording for bench,
+// creating it on first use. Every configuration of a sweep replays the
+// same recording, so the architectural stream is emulated exactly once
+// per benchmark regardless of how many configurations run over it.
+func (r *Runner) recording(bench string) (*emu.Recording, error) {
 	p, err := r.program(bench)
 	if err != nil {
 		return nil, err
 	}
-	pl, err := core.New(cfg, emu.NewTrace(emu.New(p)))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rec, ok := r.recs[bench]; ok {
+		return rec, nil
+	}
+	rec := emu.NewRecording(emu.New(p))
+	r.recs[bench] = rec
+	return rec, nil
+}
+
+// simulate is the real simulation backend behind Run.
+func (r *Runner) simulate(_ context.Context, bench string, cfg config.Machine) (*stats.Run, error) {
+	rec, err := r.recording(bench)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := core.New(cfg, rec.NewReplay())
 	if err != nil {
 		return nil, err
 	}

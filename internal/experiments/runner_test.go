@@ -93,6 +93,32 @@ func TestRunnerSingleflight(t *testing.T) {
 	}
 }
 
+func TestRunnerSharesRecordingAcrossConfigs(t *testing.T) {
+	r := NewRunner(Options{Insts: 3000})
+	for _, cfg := range []config.Machine{nas(config.NoSpec), nas(config.Naive), nas(config.Sync)} {
+		if _, err := r.Run(bg, "129.compress", cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.mu.Lock()
+	n := len(r.recs)
+	r.mu.Unlock()
+	if n != 1 {
+		t.Errorf("three configs over one benchmark created %d recordings, want 1", n)
+	}
+	a, err := r.recording("129.compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.recording("129.compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("recording() returned distinct recordings for the same benchmark")
+	}
+}
+
 func TestRunnerMemoizesStub(t *testing.T) {
 	r := NewRunner(Options{Insts: 1000})
 	var sims atomic.Int64
