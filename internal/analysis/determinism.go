@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism guards the simulator's reproducibility contract: the
+// event-driven core is held bit-identical to the exhaustive scan, and a
+// recording must replay to identical statistics, so nothing in the
+// deterministic packages may depend on iteration order, wall-clock
+// time, global randomness, or goroutine interleaving.
+//
+// Flagged: range over a map (unless annotated //md:orderindependent),
+// wall-clock time functions (time.Now and friends), math/rand
+// package-level functions (they draw from the process-global source),
+// and go statements.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid map-order iteration, wall-clock reads, global randomness, " +
+		"and goroutine spawns in the deterministic simulator packages",
+	Run: runDeterminism,
+}
+
+// wallClockFuncs are time-package functions whose results differ run to
+// run.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// seededRandFuncs are the math/rand constructors that take an explicit
+// source or seed and are therefore reproducible.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	pkg := pass.Pkg
+	fset := pass.Program.Fset
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				t := pkg.Info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); ok {
+					if !pkg.HasDirective(fset, n, DirOrderIndependent) {
+						pass.Reportf(n.Pos(),
+							"iteration over map %s: order is nondeterministic and can break golden equivalence or replay; iterate sorted keys, or annotate //md:orderindependent with a justification",
+							types.TypeString(t, types.RelativeTo(pkg.Types)))
+					}
+				}
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(),
+					"goroutine spawned in a deterministic package: scheduling order is nondeterministic")
+			case *ast.Ident:
+				obj, ok := pkg.Info.Uses[n]
+				if !ok {
+					return true
+				}
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // methods (e.g. time.Time.Sub) are pure
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if wallClockFuncs[fn.Name()] {
+						pass.Reportf(n.Pos(),
+							"time.%s reads the wall clock: results become timing-dependent", fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if !seededRandFuncs[fn.Name()] {
+						pass.Reportf(n.Pos(),
+							"%s.%s draws from the process-global random source: seed an explicit rand.New(rand.NewSource(...)) instead",
+							fn.Pkg().Name(), fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive names. A directive is a comment of the form
+//
+//	//md:<name> [free-text justification]
+//
+// placed either on the line of the construct it governs, on the line
+// immediately above it, or anywhere in a declaration's doc comment.
+const (
+	// DirHotPath marks a function as part of the warm per-cycle path:
+	// hotpathalloc requires it (and everything it calls inside the
+	// module) to perform no heap allocation.
+	DirHotPath = "hotpath"
+	// DirAllocOK exempts one statement (same line) or a whole function
+	// (doc comment) from hotpathalloc; the justification is mandatory by
+	// convention (amortized growth, cold slow path, ...). A function
+	// exempted this way is also not walked into.
+	DirAllocOK = "allocok"
+	// DirOrderIndependent exempts a map iteration from determinism: the
+	// author asserts the loop's observable effect does not depend on
+	// iteration order.
+	DirOrderIndependent = "orderindependent"
+	// DirStatsStruct marks the struct whose exported counter fields
+	// statsguard tracks.
+	DirStatsStruct = "statsstruct"
+	// DirStatsSink marks a serialization function: statsguard requires
+	// every tracked counter field to be read on some path reachable from
+	// a sink.
+	DirStatsSink = "statssink"
+)
+
+const directivePrefix = "//md:"
+
+// directiveIndex records, per file and line, which directives appear
+// there.
+type directiveIndex map[string]map[int]map[string]bool
+
+func collectDirectives(fset *token.FileSet, files []*ast.File) directiveIndex {
+	idx := directiveIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				name := rest
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					name = rest[:i]
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					idx[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = map[string]bool{}
+					lines[pos.Line] = set
+				}
+				set[name] = true
+			}
+		}
+	}
+	return idx
+}
+
+func (idx directiveIndex) hasAt(file string, line int, name string) bool {
+	return idx[file][line][name]
+}
+
+// HasDirective reports whether node is governed by the named directive:
+// the directive appears on the node's first line or the line above it.
+func (pkg *Package) HasDirective(fset *token.FileSet, node ast.Node, name string) bool {
+	pos := fset.Position(node.Pos())
+	return pkg.directives.hasAt(pos.Filename, pos.Line, name) ||
+		pkg.directives.hasAt(pos.Filename, pos.Line-1, name)
+}
+
+// FuncHasDirective reports whether the function declaration carries the
+// directive, in its doc comment or adjacent to its first line.
+func (pkg *Package) FuncHasDirective(fset *token.FileSet, decl *ast.FuncDecl, name string) bool {
+	if pkg.HasDirective(fset, decl, name) {
+		return true
+	}
+	if decl.Doc != nil {
+		for _, c := range decl.Doc.List {
+			if strings.HasPrefix(c.Text, directivePrefix+name) {
+				rest := strings.TrimPrefix(c.Text, directivePrefix+name)
+				if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// TypeHasDirective reports whether the type declaration carries the
+// directive: on the TypeSpec itself, the enclosing GenDecl's doc, or
+// adjacent lines.
+func typeHasDirective(fset *token.FileSet, pkg *Package, gd *ast.GenDecl, spec *ast.TypeSpec, name string) bool {
+	if pkg.HasDirective(fset, spec, name) || pkg.HasDirective(fset, gd, name) {
+		return true
+	}
+	for _, doc := range []*ast.CommentGroup{gd.Doc, spec.Doc, spec.Comment} {
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			if strings.HasPrefix(c.Text, directivePrefix+name) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,27 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// The fixture module under testdata/src carries `// want "regexp"`
+// comments on every line an analyzer must flag; RunFixture diffs both
+// directions, so these tests fail on missed findings and on false
+// positives alike.
+
+func TestDeterminismFixture(t *testing.T) {
+	RunFixture(t, Determinism, filepath.Join("testdata", "src"), "./det/...")
+}
+
+func TestHotPathAllocFixture(t *testing.T) {
+	RunFixture(t, HotPathAlloc, filepath.Join("testdata", "src"), "./hot/...")
+}
+
+func TestStatsGuardFixture(t *testing.T) {
+	RunFixture(t, StatsGuard, filepath.Join("testdata", "src"), "./statsbad/...")
+}
+
+func TestStatsGuardNoSinkFixture(t *testing.T) {
+	RunFixture(t, StatsGuard, filepath.Join("testdata", "src"), "./statsnosink/...")
+}

@@ -1,0 +1,442 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAlloc guards the zero-allocation warm cycle: every function
+// annotated //md:hotpath — and everything it calls inside the module,
+// found by a static call-graph walk that also descends through
+// interface method calls into their in-module implementations — must
+// not allocate.
+//
+// Flagged constructs: slice/map composite literals and address-taken
+// composites, make/new/append, closures, defer/go, channel operations,
+// map writes, string concatenation and allocating string conversions,
+// conversions of non-pointer values to interfaces, calls into
+// allocating standard-library packages (fmt, strings, sort, ...), and
+// calls through function values (which the walk cannot follow).
+//
+// Individual amortized or cold sites are exempted with //md:allocok on
+// the same line (or the line above); a whole function annotated
+// //md:allocok is exempt and not walked into — the escape hatch for
+// lazy-materialization boundaries like emu.Trace.At.
+var HotPathAlloc = &Analyzer{
+	Name:         "hotpathalloc",
+	Doc:          "functions reachable from //md:hotpath roots must not heap-allocate",
+	ProgramLevel: true,
+	Run:          runHotPathAlloc,
+}
+
+// allocPackages are standard-library packages whose exported functions
+// allocate (or may allocate) on essentially every call.
+var allocPackages = map[string]bool{
+	"fmt": true, "errors": true, "strings": true, "strconv": true,
+	"sort": true, "log": true, "os": true, "io": true, "bufio": true,
+	"bytes": true, "reflect": true, "regexp": true, "context": true,
+}
+
+type hpWork struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+	root string // the //md:hotpath root this function is reachable from
+}
+
+type hpChecker struct {
+	pass    *Pass
+	prog    *Program
+	decls   map[types.Object]hpWork // every module function with a body
+	visited map[types.Object]bool
+	queue   []hpWork
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	c := &hpChecker{
+		pass:    pass,
+		prog:    pass.Program,
+		decls:   map[types.Object]hpWork{},
+		visited: map[types.Object]bool{},
+	}
+	// Index every function declaration in the program, then seed the
+	// walk with the annotated roots.
+	for _, pkg := range c.prog.Packages {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj := pkg.Info.Defs[fd.Name]
+				if obj == nil {
+					continue
+				}
+				c.decls[obj] = hpWork{pkg: pkg, decl: fd}
+			}
+		}
+	}
+	for obj, w := range c.decls {
+		if w.pkg.FuncHasDirective(c.prog.Fset, w.decl, DirHotPath) {
+			c.enqueue(obj, funcDisplayName(obj.(*types.Func)))
+		}
+	}
+	for len(c.queue) > 0 {
+		w := c.queue[0]
+		c.queue = c.queue[1:]
+		c.checkFunc(w)
+	}
+	return nil
+}
+
+func (c *hpChecker) enqueue(obj types.Object, root string) {
+	if c.visited[obj] {
+		return
+	}
+	w, ok := c.decls[obj]
+	if !ok {
+		return // no body in this build (e.g. behind a build tag)
+	}
+	c.visited[obj] = true
+	w.root = root
+	c.queue = append(c.queue, w)
+}
+
+// funcDisplayName renders "Pipeline.step" or "completeStore".
+func funcDisplayName(f *types.Func) string {
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return n.Obj().Name() + "." + f.Name()
+		}
+	}
+	return f.Name()
+}
+
+// reportf emits a finding unless the site carries //md:allocok.
+func (c *hpChecker) reportf(w hpWork, pos token.Pos, format string, args ...any) {
+	p := c.prog.Fset.Position(pos)
+	d := w.pkg.directives
+	if d.hasAt(p.Filename, p.Line, DirAllocOK) || d.hasAt(p.Filename, p.Line-1, DirAllocOK) {
+		return
+	}
+	args = append(args, w.root)
+	c.pass.Reportf(pos, format+" (hot path via %s)", args...)
+}
+
+// checkFunc reports allocation sites in one hot function and enqueues
+// its in-module callees.
+func (c *hpChecker) checkFunc(w hpWork) {
+	if w.pkg.FuncHasDirective(c.prog.Fset, w.decl, DirAllocOK) {
+		return // exempt, and the walk stops here
+	}
+	info := w.pkg.Info
+	// nodeStack tracks ancestry so method values can be told apart from
+	// method calls and returns can be matched to their function.
+	var nodeStack []ast.Node
+	var sigStack []*types.Signature
+	if sig, ok := info.Defs[w.decl.Name].Type().(*types.Signature); ok {
+		sigStack = append(sigStack, sig)
+	}
+	ast.Inspect(w.decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			top := nodeStack[len(nodeStack)-1]
+			nodeStack = nodeStack[:len(nodeStack)-1]
+			if _, ok := top.(*ast.FuncLit); ok {
+				sigStack = sigStack[:len(sigStack)-1]
+			}
+			return true
+		}
+		nodeStack = append(nodeStack, n)
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				c.reportf(w, n.Pos(), "slice literal allocates")
+			case *types.Map:
+				c.reportf(w, n.Pos(), "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			switch n.Op {
+			case token.AND:
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					c.reportf(w, n.Pos(), "address-taken composite literal escapes to the heap")
+				}
+			case token.ARROW:
+				c.reportf(w, n.Pos(), "channel receive on the hot path")
+			}
+		case *ast.FuncLit:
+			c.reportf(w, n.Pos(), "function literal (closure) allocates")
+			if sig, ok := info.TypeOf(n).(*types.Signature); ok {
+				sigStack = append(sigStack, sig)
+			} else {
+				sigStack = append(sigStack, nil)
+			}
+		case *ast.DeferStmt:
+			c.reportf(w, n.Pos(), "defer on the hot path")
+		case *ast.GoStmt:
+			c.reportf(w, n.Pos(), "goroutine spawn on the hot path")
+		case *ast.SendStmt:
+			c.reportf(w, n.Pos(), "channel send on the hot path")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t, ok := info.TypeOf(n).Underlying().(*types.Basic); ok && t.Info()&types.IsString != 0 {
+					c.reportf(w, n.Pos(), "string concatenation allocates")
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				c.checkMapWrite(w, lhs)
+			}
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					c.convCheck(w, info.TypeOf(n.Lhs[i]), rhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			c.checkMapWrite(w, n.X)
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				for _, v := range n.Values {
+					c.convCheck(w, info.TypeOf(n.Type), v)
+				}
+			}
+		case *ast.ReturnStmt:
+			sig := sigStack[len(sigStack)-1]
+			if sig != nil && sig.Results().Len() == len(n.Results) {
+				for i, r := range n.Results {
+					c.convCheck(w, sig.Results().At(i).Type(), r)
+				}
+			}
+		case *ast.CallExpr:
+			c.checkCall(w, n)
+		case *ast.SelectorExpr:
+			// A method value not in call position allocates its bound
+			// receiver.
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+				isCallee := false
+				if len(nodeStack) >= 2 {
+					if call, ok := nodeStack[len(nodeStack)-2].(*ast.CallExpr); ok && call.Fun == n {
+						isCallee = true
+					}
+				}
+				if !isCallee {
+					c.reportf(w, n.Pos(), "method value allocates a bound-method closure")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkMapWrite flags assignments through a map index.
+func (c *hpChecker) checkMapWrite(w hpWork, lhs ast.Expr) {
+	idx, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	if t := w.pkg.Info.TypeOf(idx.X); t != nil {
+		if _, ok := t.Underlying().(*types.Map); ok {
+			c.reportf(w, lhs.Pos(), "map assignment may allocate (bucket growth)")
+		}
+	}
+}
+
+// pointerShaped reports whether values of t fit an interface word
+// without boxing.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// convCheck flags an implicit conversion of e into an interface-typed
+// slot when the operand would be boxed on the heap.
+func (c *hpChecker) convCheck(w hpWork, target types.Type, e ast.Expr) {
+	if target == nil || e == nil {
+		return
+	}
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return
+	}
+	src := w.pkg.Info.TypeOf(e)
+	if src == nil {
+		return
+	}
+	if b, ok := src.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if _, ok := src.Underlying().(*types.Interface); ok {
+		return
+	}
+	if pointerShaped(src) {
+		return
+	}
+	c.reportf(w, e.Pos(), "conversion of %s to interface %s allocates",
+		types.TypeString(src, types.RelativeTo(w.pkg.Types)),
+		types.TypeString(target, types.RelativeTo(w.pkg.Types)))
+}
+
+// checkCall classifies one call: explicit conversion, builtin,
+// static/interface/dynamic call — reporting allocations and feeding the
+// call-graph walk.
+func (c *hpChecker) checkCall(w hpWork, call *ast.CallExpr) {
+	info := w.pkg.Info
+	// Explicit conversion T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		tgt := tv.Type
+		if len(call.Args) == 1 {
+			c.checkConversion(w, tgt, call.Args[0])
+		}
+		return
+	}
+	callee := calleeObject(info, call.Fun)
+	if b, ok := callee.(*types.Builtin); ok {
+		switch b.Name() {
+		case "append":
+			c.reportf(w, call.Pos(), "append may grow its backing array")
+		case "make":
+			c.reportf(w, call.Pos(), "make allocates")
+		case "new":
+			c.reportf(w, call.Pos(), "new allocates")
+		}
+		return
+	}
+	// Implicit interface conversions at the call boundary.
+	if sig, ok := info.TypeOf(call.Fun).(*types.Signature); ok && call.Ellipsis == token.NoPos {
+		np := sig.Params().Len()
+		for i, arg := range call.Args {
+			var pt types.Type
+			switch {
+			case sig.Variadic() && i >= np-1:
+				pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+			case i < np:
+				pt = sig.Params().At(i).Type()
+			}
+			c.convCheck(w, pt, arg)
+		}
+	}
+	fn, ok := callee.(*types.Func)
+	if !ok {
+		if callee == nil || !isDeadEnd(callee) {
+			c.reportf(w, call.Pos(), "call through a function value: the hot-path walk cannot verify it")
+		}
+		return
+	}
+	if fn.Pkg() == nil {
+		return // universe scope (error.Error via embedding, etc.)
+	}
+	path := fn.Pkg().Path()
+	switch {
+	case c.prog.inModule(path):
+		if _, ok := c.decls[fn]; ok {
+			c.enqueue(fn, w.root)
+			return
+		}
+		// No body: an interface method. Walk into every in-module
+		// implementation.
+		c.resolveInterfaceCall(w, call, fn)
+	case allocPackages[path]:
+		c.reportf(w, call.Pos(), "call into %s.%s allocates", fn.Pkg().Name(), fn.Name())
+	default:
+		// Other standard-library calls (math, math/bits, sync, ...)
+		// are assumed non-allocating.
+	}
+}
+
+// isDeadEnd reports objects whose calls we deliberately ignore (nil
+// funcs can't happen; vars of func type are flagged by the caller).
+func isDeadEnd(obj types.Object) bool {
+	_, isVar := obj.(*types.Var)
+	return !isVar
+}
+
+// checkConversion flags explicit conversions that allocate: boxing into
+// an interface, string<->slice copies, and integer-to-string.
+func (c *hpChecker) checkConversion(w hpWork, tgt types.Type, arg ast.Expr) {
+	src := w.pkg.Info.TypeOf(arg)
+	if src == nil {
+		return
+	}
+	tb, tIsBasic := tgt.Underlying().(*types.Basic)
+	sb, sIsBasic := src.Underlying().(*types.Basic)
+	switch {
+	case tIsBasic && tb.Info()&types.IsString != 0:
+		if _, ok := src.Underlying().(*types.Slice); ok {
+			c.reportf(w, arg.Pos(), "slice-to-string conversion copies and allocates")
+		} else if sIsBasic && sb.Info()&types.IsInteger != 0 {
+			c.reportf(w, arg.Pos(), "integer-to-string conversion allocates")
+		}
+	case sIsBasic && sb.Info()&types.IsString != 0:
+		if _, ok := tgt.Underlying().(*types.Slice); ok {
+			c.reportf(w, arg.Pos(), "string-to-slice conversion copies and allocates")
+		}
+	default:
+		c.convCheck(w, tgt, arg)
+	}
+}
+
+// calleeObject resolves the called object, unwrapping parens and
+// selections.
+func calleeObject(info *types.Info, fun ast.Expr) types.Object {
+	switch f := fun.(type) {
+	case *ast.ParenExpr:
+		return calleeObject(info, f.X)
+	case *ast.Ident:
+		return info.Uses[f]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[f.Sel] // qualified identifier pkg.Func
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		return calleeObject(info, f.X)
+	case *ast.IndexListExpr:
+		return calleeObject(info, f.X)
+	}
+	return nil
+}
+
+// resolveInterfaceCall finds every named type in the program that
+// implements the interface a method call dispatches through, and
+// enqueues the corresponding concrete methods.
+func (c *hpChecker) resolveInterfaceCall(w hpWork, call *ast.CallExpr, fn *types.Func) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	for _, pkg := range c.prog.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if types.IsInterface(named) {
+				continue
+			}
+			if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, fn.Pkg(), fn.Name())
+			if m, ok := obj.(*types.Func); ok {
+				c.enqueue(m, w.root)
+			}
+		}
+	}
+}

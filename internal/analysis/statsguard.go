@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StatsGuard catches drift between the statistics struct and the
+// experiment artifacts: every exported counter field (integer-typed)
+// of a struct annotated //md:statsstruct must be read somewhere on a
+// path reachable from a //md:statssink serialization function — either
+// directly, or through a derived-metric method (IPC reads Cycles and
+// Committed, and so on).
+//
+// The JSON artifact marshals the whole struct, so JSON can never
+// drift; the flat CSV schema and any hand-rolled render path can, and
+// those are exactly the functions that carry the //md:statssink
+// annotation. Adding a counter to the struct without extending a sink
+// (or a derived metric a sink calls) is reported at the new field.
+var StatsGuard = &Analyzer{
+	Name:         "statsguard",
+	Doc:          "every exported counter field of the //md:statsstruct must reach a //md:statssink serialization path",
+	ProgramLevel: true,
+	Run:          runStatsGuard,
+}
+
+func runStatsGuard(pass *Pass) error {
+	prog := pass.Program
+	fset := prog.Fset
+
+	// Locate annotated structs and their exported integer fields.
+	type trackedStruct struct {
+		named  *types.Named
+		spec   *ast.TypeSpec
+		fields map[*types.Var]bool // exported counter fields, covered?
+	}
+	var structs []*trackedStruct
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, s := range gd.Specs {
+					spec, ok := s.(*ast.TypeSpec)
+					if !ok || !typeHasDirective(fset, pkg, gd, spec, DirStatsStruct) {
+						continue
+					}
+					obj, ok := pkg.Info.Defs[spec.Name].(*types.TypeName)
+					if !ok {
+						continue
+					}
+					named, ok := obj.Type().(*types.Named)
+					if !ok {
+						continue
+					}
+					st, ok := named.Underlying().(*types.Struct)
+					if !ok {
+						continue
+					}
+					ts := &trackedStruct{named: named, spec: spec, fields: map[*types.Var]bool{}}
+					for i := 0; i < st.NumFields(); i++ {
+						f := st.Field(i)
+						if !f.Exported() {
+							continue
+						}
+						if b, ok := f.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+							ts.fields[f] = false
+						}
+					}
+					structs = append(structs, ts)
+				}
+			}
+		}
+	}
+	if len(structs) == 0 {
+		return nil
+	}
+
+	// Index declarations, find the sinks, and walk everything reachable
+	// from them (in-module static calls, transitively), marking tracked
+	// fields as covered when a selector reads them.
+	decls := map[types.Object]hpWork{}
+	var queue []hpWork
+	anySink := false
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj := pkg.Info.Defs[fd.Name]
+				if obj == nil {
+					continue
+				}
+				w := hpWork{pkg: pkg, decl: fd}
+				decls[obj] = w
+				if pkg.FuncHasDirective(fset, fd, DirStatsSink) {
+					queue = append(queue, w)
+					anySink = true
+				}
+			}
+		}
+	}
+	for _, ts := range structs {
+		if !anySink {
+			pass.Reportf(ts.spec.Pos(),
+				"struct %s is annotated //md:statsstruct but no //md:statssink function exists in the analyzed packages",
+				ts.named.Obj().Name())
+		}
+	}
+	if !anySink {
+		return nil
+	}
+
+	visited := map[*ast.FuncDecl]bool{}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		if visited[w.decl] {
+			continue
+		}
+		visited[w.decl] = true
+		info := w.pkg.Info
+		ast.Inspect(w.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					if f, ok := sel.Obj().(*types.Var); ok {
+						for _, ts := range structs {
+							if _, tracked := ts.fields[f]; tracked {
+								ts.fields[f] = true
+							}
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if fn, ok := calleeObject(info, n.Fun).(*types.Func); ok &&
+					fn.Pkg() != nil && prog.inModule(fn.Pkg().Path()) {
+					if next, ok := decls[fn]; ok {
+						queue = append(queue, next)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, ts := range structs {
+		st := ts.named.Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			covered, tracked := ts.fields[f]
+			if tracked && !covered {
+				pass.Reportf(f.Pos(),
+					"counter %s.%s never reaches a //md:statssink serialization path: extend the sink (or a derived metric it calls) or the artifact schema silently drops it",
+					ts.named.Obj().Name(), f.Name())
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+// Package det exercises the determinism analyzer: every construct the
+// deterministic simulator packages must not contain.
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Sum's observable result depends on nothing, but the loop is not
+// annotated, so the analyzer must flag it.
+func Sum(m map[int]int) int {
+	total := 0
+	for k, v := range m { // want "iteration over map"
+		total += k + v
+	}
+	return total
+}
+
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func Draw() int {
+	return rand.Intn(10) // want "rand.Intn draws from the process-global random source"
+}
+
+func Spawn(ch chan int) {
+	go send(ch) // want "goroutine spawned in a deterministic package"
+}
+
+func send(ch chan int) { ch <- 1 }

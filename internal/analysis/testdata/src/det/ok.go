@@ -1,0 +1,31 @@
+package det
+
+import "math/rand"
+
+// Checksum folds the map with a commutative, associative operation, so
+// visit order cannot change the result: the annotation keeps the
+// analyzer quiet and records why.
+func Checksum(m map[string]uint64) uint64 {
+	var sum uint64
+	//md:orderindependent addition is commutative; the fold is order-blind
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// SeededDraw uses an explicitly seeded source, which is reproducible
+// and therefore allowed.
+func SeededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// SliceWalk ranges over a slice, which is ordered; no finding.
+func SliceWalk(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

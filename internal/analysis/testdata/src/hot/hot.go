@@ -1,0 +1,88 @@
+// Package hot exercises the hotpathalloc analyzer: allocation sites on
+// the annotated hot path, the transitive call-graph walk (including
+// through an interface dispatch), and both forms of //md:allocok
+// exemption.
+package hot
+
+import "fmt"
+
+type filter struct {
+	buf []int
+	m   map[int]int
+}
+
+//md:hotpath
+func (f *filter) Step(x int) int {
+	s := []int{x}            // want "slice literal allocates"
+	f.buf = append(f.buf, x) // want "append may grow its backing array"
+	f.m[x] = x               // want "map assignment may allocate"
+	f.helper(x)
+	f.cold(x)
+	return s[0]
+}
+
+// helper is not annotated itself: it is reachable from Step, so the
+// walk must carry the finding here and name the root.
+func (f *filter) helper(x int) {
+	p := new(int) // want "new allocates"
+	*p = x
+}
+
+//md:allocok cold slow path, runs once per simulation not per cycle
+func (f *filter) cold(x int) {
+	f.buf = make([]int, x) // exempt: the whole function is //md:allocok
+}
+
+type sink interface{ put(int) }
+
+type store struct{ vals []int }
+
+// put is reached through the interface dispatch in Box: the walk
+// resolves in-module implementations of sink.
+func (s *store) put(x int) {
+	s.vals = append(s.vals, x) // want "append may grow its backing array"
+}
+
+//md:hotpath
+func Box(s sink, x int) {
+	var v any = x // want "conversion of int to interface"
+	_ = v
+	s.put(x)
+}
+
+//md:hotpath
+func Closure(x int) func() int {
+	return func() int { return x } // want "function literal .closure. allocates"
+}
+
+//md:hotpath
+func Deferred(f *filter) {
+	defer release(f) // want "defer on the hot path"
+}
+
+func release(f *filter) {}
+
+//md:hotpath
+func Concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//md:hotpath
+func Print(x int) {
+	fmt.Println(x) // want "call into fmt.Println allocates" "conversion of int to interface"
+}
+
+//md:hotpath
+func Amortized(buf []int, x int) []int {
+	buf = append(buf, x) //md:allocok amortized growth, measured in the steady-state pin test
+	return buf
+}
+
+// ColdAlloc is not on any hot path: nothing here may be reported.
+func ColdAlloc(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("%d", i))
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+// Package statsbad exercises the statsguard analyzer: one counter is
+// covered directly by the sink, one transitively through a derived
+// metric, and one never reaches the serialization path.
+package statsbad
+
+//md:statsstruct
+type Run struct {
+	Cycles    int64
+	Committed int64
+	Squashes  int64   // want "counter Run.Squashes never reaches a //md:statssink serialization path"
+	name      string  // unexported: not tracked
+	Rate      float64 // non-integer: not tracked
+}
+
+//md:statssink
+func Render(r *Run) []float64 {
+	return []float64{float64(r.Cycles), IPC(r)}
+}
+
+// IPC is a derived metric: the sink calls it, so the fields it reads
+// count as covered.
+func IPC(r *Run) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Cycles)
+}

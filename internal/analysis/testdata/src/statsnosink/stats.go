@@ -1,0 +1,9 @@
+// Package statsnosink exercises statsguard's no-sink diagnostic: a
+// tracked struct with no serialization function at all.
+package statsnosink
+
+//md:statsstruct
+type Counters struct { // want "no //md:statssink function exists"
+	Hits   int64
+	Misses int64
+}

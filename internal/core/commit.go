@@ -7,12 +7,15 @@ import "mdspec/internal/config"
 // the store buffer, consuming a memory port (contending with loads; the
 // store buffer does not combine writes to L1, per Table 2).
 func (p *Pipeline) commit() {
-	committed := 0
-	defer func() {
-		if committed == 0 {
-			p.classifyStall()
-		}
-	}()
+	if p.commitEntries() == 0 {
+		p.classifyStall()
+	}
+}
+
+// commitEntries retires what it can this cycle and reports how many
+// instructions committed. The early returns model the in-order commit
+// stage blocking on its oldest instruction.
+func (p *Pipeline) commitEntries() (committed int) {
 	for n := 0; n < p.cfg.CommitWidth; n++ {
 		e := p.slot(p.headSeq)
 		if !e.valid || e.di.Seq != p.headSeq {
@@ -66,6 +69,7 @@ func (p *Pipeline) commit() {
 	// Committed records can never be referenced again; let the trace
 	// reclaim them (amortized internally).
 	p.trace.Release(p.headSeq)
+	return committed
 }
 
 // classifyStall attributes a zero-commit cycle to its cause: an empty

@@ -72,6 +72,7 @@ func (p *Pipeline) fetch() {
 			branches++
 			p.predictBranch(d, &rec)
 		}
+		//md:allocok amortized: fetchQ reaches its steady capacity and is reused
 		p.fetchQ = append(p.fetchQ, rec)
 		p.fetchSeq++
 		fetched++
@@ -168,6 +169,7 @@ func (p *Pipeline) fetchSplit() {
 				branches++
 				p.predictBranch(d, &rec)
 			}
+			//md:allocok amortized: fetchQ reaches its steady capacity and is reused
 			p.fetchQ = append(p.fetchQ, rec)
 			p.advanceUnitFetch(u, taskSize)
 			fetched++
@@ -208,9 +210,11 @@ func (p *Pipeline) dispatch() {
 		if dispatched >= width || rec.ready > p.cycle || rec.seq >= p.headSeq+int64(p.cfg.Window) || lsqFull {
 			if !p.cfg.SplitWindow {
 				// Program order: nothing younger can go either.
+				//md:allocok reuse-append into fetchQ[:0]; never exceeds the old length
 				out = append(out, p.fetchQ[i:]...)
 				break
 			}
+			//md:allocok reuse-append into fetchQ[:0]; never exceeds the old length
 			out = append(out, rec)
 			continue
 		}

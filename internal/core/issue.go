@@ -87,8 +87,9 @@ func (p *Pipeline) issueEvent() {
 func (p *Pipeline) issueSplitScan() {
 	units := p.cfg.SplitUnits
 	taskSize := int64(p.cfg.Window / units)
-	// Per-unit cursors over the in-flight range.
-	cursors := make([]int64, units)
+	// Per-unit cursors over the in-flight range (the buffer is allocated
+	// once in New and reused every cycle).
+	cursors := p.scanCursors
 	for u := range cursors {
 		cursors[u] = p.headSeq
 	}
@@ -400,6 +401,7 @@ func (p *Pipeline) tryIssueStore(e *robEntry) bool {
 			e.agenIssued = true
 			e.addrReady = p.cycle + agenLatency
 			e.addrPosted = e.addrReady + int64(p.cfg.SchedulerLatency)
+			//md:allocok amortized: postQ is drained each cycle, capacity is retained
 			p.postQ = append(p.postQ, e.di.Seq)
 			s := p.slotIndex(e.di.Seq)
 			p.schedule(e.addrReady, s)  // wake the data-merge phase
@@ -425,6 +427,7 @@ func (p *Pipeline) tryIssueStore(e *robEntry) bool {
 		e.memDone = p.cycle + 1 // merge the data into the buffer entry
 		e.state = stIssued
 		e.doneCycle = e.memDone
+		//md:allocok amortized: compQ is drained each cycle, capacity is retained
 		p.compQ = append(p.compQ, e.di.Seq)
 		p.schedule(e.memDone, p.slotIndex(e.di.Seq))
 		p.markPropagated(e.dep2)
@@ -449,6 +452,7 @@ func (p *Pipeline) tryIssueStore(e *robEntry) bool {
 	e.state = stIssued
 	e.doneCycle = e.memDone
 	e.addrReady = e.memDone
+	//md:allocok amortized: compQ is drained each cycle, capacity is retained
 	p.compQ = append(p.compQ, e.di.Seq)
 	p.schedule(e.memDone, p.slotIndex(e.di.Seq))
 	p.markPropagated(e.dep1, e.dep2)

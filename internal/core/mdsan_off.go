@@ -1,0 +1,14 @@
+//go:build !mdsan
+
+package core
+
+// mdsanState carries the sanitizer's preallocated scratch; it is empty
+// (and sanitize a no-op the compiler erases) unless the build carries
+// the mdsan tag. See mdsan_on.go for the checks.
+type mdsanState struct{}
+
+func (*mdsanState) init(int) {}
+
+// sanitize is compiled out in normal builds; `go test -tags mdsan`
+// arms the cycle-level invariant checks.
+func (p *Pipeline) sanitize() {}

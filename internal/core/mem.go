@@ -16,6 +16,7 @@ func (p *Pipeline) processStoreEvents() {
 				continue // squashed
 			}
 			if p.cycle < e.addrPosted {
+				//md:allocok reuse-append into postQ[:0]; never exceeds the old length
 				keep = append(keep, seq)
 				continue
 			}
@@ -36,6 +37,7 @@ func (p *Pipeline) processStoreEvents() {
 				continue // squashed or selectively invalidated
 			}
 			if p.cycle < e.memDone {
+				//md:allocok reuse-append into compQ[:0]; never exceeds the old length
 				keep = append(keep, seq)
 				continue
 			}
@@ -85,6 +87,7 @@ func (p *Pipeline) checkViolations(st *robEntry) {
 	b := t.bucket(st.di.Addr)
 	for s := t.bhead[b]; s != nilSlot; s = t.next[s] {
 		if t.addr[s] == st.di.Addr && t.seq[s] > stSeq {
+			//md:allocok amortized: violScratch grows to the deepest match set and is reused
 			scratch = append(scratch, t.seq[s])
 		}
 	}
@@ -322,6 +325,7 @@ func (p *Pipeline) squashFrom(load, st *robEntry) {
 	keep := p.fetchQ[:0]
 	for _, rec := range p.fetchQ {
 		if rec.seq < loadSeq {
+			//md:allocok reuse-append into fetchQ[:0]; never exceeds the old length
 			keep = append(keep, rec)
 		}
 	}

@@ -27,6 +27,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"mdspec/internal/bpred"
 	"mdspec/internal/cache"
@@ -224,9 +225,12 @@ type Pipeline struct {
 
 	// splitCursors is the reusable per-unit cursor buffer of the
 	// split-window issue walk: each holds the unit's position in its
-	// rotated candidate sub-range (the scan version allocated its
-	// cursors per cycle).
+	// rotated candidate sub-range. scanCursors is its counterpart for
+	// the legacy scan walk (per-unit sequence cursors); both live for
+	// the pipeline's lifetime so the per-cycle issue stage allocates
+	// nothing.
 	splitCursors []int32
+	scanCursors  []int64
 
 	// Generation-stamped invalidation marks (selectiveInvalidate's
 	// transitive-consumer set; replaces a per-call map).
@@ -236,6 +240,10 @@ type Pipeline struct {
 	// violScratch snapshots matching loads in checkViolations so
 	// recovery actions can edit the address chains mid-walk.
 	violScratch []int64
+
+	// san holds the mdsan sanitizer's preallocated scratch; empty (and
+	// sanitize a no-op) unless built with -tags mdsan.
+	san mdsanState
 }
 
 // New builds a pipeline over the given dynamic instruction stream.
@@ -272,6 +280,7 @@ func New(cfg config.Machine, trace emu.Stream) (*Pipeline, error) {
 	}
 	p.cand.init(w)
 	p.splitCursors = make([]int32, units)
+	p.scanCursors = make([]int64, units)
 	p.parkedOn = make([]int32, w)
 	p.wHead = make([]int32, w)
 	p.wNext = make([]int32, w)
@@ -284,6 +293,7 @@ func New(cfg config.Machine, trace emu.Stream) (*Pipeline, error) {
 	p.invSeq = make([]int64, w)
 	p.events.init()
 	p.violScratch = make([]int64, 0, 64)
+	p.san.init(w)
 	switch cfg.Policy {
 	case config.Selective:
 		p.sel = mdp.NewSelective(cfg.PredictorTable)
@@ -349,8 +359,8 @@ func (p *Pipeline) Run(maxInsts int64) (*stats.Run, error) {
 		}
 		p.step()
 		if p.cycle > maxCycles {
-			return nil, fmt.Errorf("core: no forward progress after %d cycles (committed %d/%d, config %s)",
-				p.cycle, p.res.Committed, maxInsts, p.cfg.Name())
+			return nil, fmt.Errorf("core: no forward progress after %d cycles (committed %d/%d, config %s)\n%s",
+				p.cycle, p.res.Committed, maxInsts, p.cfg.Name(), p.deadlockSnapshot())
 		}
 	}
 	p.res.Cycles = p.cycle
@@ -361,7 +371,59 @@ func (p *Pipeline) Run(maxInsts int64) (*stats.Run, error) {
 	return &p.res, nil
 }
 
-// step advances the machine by one cycle.
+// deadlockSnapshot renders a one-shot dump of the machine state for the
+// Run watchdog's error: where the window stands, what the head is stuck
+// on, which slots are parked on what, and when the scheduler next
+// expects anything to happen. It runs once, on the failure path only,
+// so readability beats allocation discipline here.
+func (p *Pipeline) deadlockSnapshot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  cycle=%d scanMode=%v window: head=%d dispatch=%d occupancy=%d/%d\n",
+		p.cycle, p.scanMode, p.headSeq, p.dispatchSeq, p.dispatchSeq-p.headSeq, p.cfg.Window)
+	if e := p.slot(p.headSeq); e.valid && e.di.Seq == p.headSeq {
+		fmt.Fprintf(&b, "  head seq=%d load=%v store=%v branch=%v agen=%v memIssued=%v completed=%v addrReady=%d memDone=%d dep1=%d dep2=%d parkedOn=%d\n",
+			p.headSeq, e.isLoad, e.isStore, e.isBranch, e.agenIssued, e.memIssued,
+			e.completed, e.addrReady, e.memDone, e.dep1, e.dep2, p.parkedOn[p.slotIndex(p.headSeq)])
+	} else {
+		fmt.Fprintf(&b, "  head seq=%d not dispatched (window empty or hole)\n", p.headSeq)
+	}
+	if next := p.nextEventCycle(); next >= notYet {
+		fmt.Fprintf(&b, "  next event: none (wheel n=%d overflow=%d)\n", p.events.n, len(p.events.over))
+	} else {
+		fmt.Fprintf(&b, "  next event: cycle %d (wheel n=%d overflow=%d)\n", next, p.events.n, len(p.events.over))
+	}
+	const maxParked = 16
+	parked := 0
+	for s := range p.parkedOn {
+		q := p.parkedOn[s]
+		if q == parkNone {
+			continue
+		}
+		if parked++; parked > maxParked {
+			continue
+		}
+		e := &p.rob[s]
+		on := "timer"
+		if q >= 0 {
+			on = fmt.Sprintf("slot %d (seq %d)", q, p.rob[q].di.Seq)
+		}
+		fmt.Fprintf(&b, "  parked: slot %d seq=%d load=%v store=%v on %s\n",
+			s, e.di.Seq, e.isLoad, e.isStore, on)
+	}
+	if parked > maxParked {
+		fmt.Fprintf(&b, "  ... and %d more parked slots\n", parked-maxParked)
+	}
+	fmt.Fprintf(&b, "  parked=%d pendingStores=%d unpostedStores=%d fetchQ=%d postQ=%d compQ=%d",
+		parked, p.pendingStores.n, p.unpostedStores.n, len(p.fetchQ), len(p.postQ), len(p.compQ))
+	return b.String()
+}
+
+// step advances the machine by one cycle. It is the zero-allocation
+// warm path: after warmup, steady-state stepping must not allocate
+// (pinned by TestStepZeroAllocSteadyState and enforced statically by
+// mdlint's hotpathalloc walk rooted here).
+//
+//md:hotpath
 func (p *Pipeline) step() {
 	// Reset per-cycle resource pools.
 	p.issueLeft = p.cfg.IssueWidth
@@ -389,4 +451,6 @@ func (p *Pipeline) step() {
 	if !p.scanMode && !p.activity {
 		p.trySkip()
 	}
+	// No-op unless built with -tags mdsan; see mdsan_on.go.
+	p.sanitize()
 }

@@ -303,10 +303,12 @@ func (w *eventWheel) init() {
 
 func (w *eventWheel) push(at int64, slot int32) {
 	if at > w.drained+wheelHorizon {
+		//md:allocok amortized: the overflow list is rare and retains capacity
 		w.over = append(w.over, schedEvent{at, slot})
 		return
 	}
 	b := at & w.mask
+	//md:allocok amortized: buckets grow to their steady per-cycle depth and are reused
 	w.buckets[b] = append(w.buckets[b], slot)
 	w.n++
 }
@@ -433,6 +435,7 @@ func (p *Pipeline) processWakeups() {
 			if e.at <= p.cycle {
 				p.wake(e.slot)
 			} else {
+				//md:allocok reuse-append into over[:0]; never exceeds the old length
 				keep = append(keep, e)
 			}
 		}

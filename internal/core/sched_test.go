@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"mdspec/internal/config"
@@ -179,14 +180,45 @@ func TestAddrMapsMirrorROBUnderSquashStorms(t *testing.T) {
 // storage, and the shared recording serves reads without copying.
 func TestStepZeroAllocSteadyState(t *testing.T) {
 	rec := emu.NewRecording(emu.New(workload.MustBuild("126.gcc")))
+	cfgs := []struct {
+		name string
+		cfg  config.Machine
+	}{
+		{"NAS/SYNC", config.Default128().WithPolicy(config.Sync)},
+		{"AS/NAIVE", config.Default128().WithPolicy(config.Naive).WithAddressScheduler(1)},
+	}
+	for _, tc := range cfgs {
+		t.Run(tc.name, func(t *testing.T) {
+			pl, err := New(tc.cfg, rec.NewReplay())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 20_000; i++ {
+				pl.step()
+			}
+			if avg := testing.AllocsPerRun(2000, func() { pl.step() }); avg != 0 {
+				t.Errorf("steady-state step allocates %.2f times per cycle, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestDeadlockSnapshotRenders exercises the watchdog's one-shot state
+// dump against a live mid-flight pipeline; the watchdog itself is
+// unreachable in a healthy build, so the renderer gets its own test.
+func TestDeadlockSnapshotRenders(t *testing.T) {
+	rec := emu.NewRecording(emu.New(workload.MustBuild("126.gcc")))
 	pl, err := New(config.Default128().WithPolicy(config.Sync), rec.NewReplay())
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 20_000; i++ {
+	for i := 0; i < 500; i++ {
 		pl.step()
 	}
-	if avg := testing.AllocsPerRun(2000, func() { pl.step() }); avg != 0 {
-		t.Errorf("steady-state step allocates %.2f times per cycle, want 0", avg)
+	snap := pl.deadlockSnapshot()
+	for _, want := range []string{"window: head=", "next event:", "pendingStores="} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, snap)
+		}
 	}
 }

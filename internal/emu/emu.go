@@ -124,6 +124,7 @@ func New(p *prog.Program) *Machine {
 		pc:        p.Entry,
 		lastStore: make(map[uint32]int64),
 	}
+	//md:orderindependent each address is written once, so the memory image is the same for every visit order
 	for addr, v := range p.Data {
 		m.mem.Write(addr, v)
 	}

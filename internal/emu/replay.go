@@ -127,6 +127,11 @@ func (rp *Replay) At(seq int64) *DynInst {
 
 // atSlow refreshes the cursor's snapshot, extending the recording when
 // seq has genuinely not been recorded yet.
+//
+// Runs once per 4096-instruction chunk (and on snapshot refreshes),
+// never in the steady replay state.
+//
+//md:allocok recording-extension boundary, never in steady replay
 func (rp *Replay) atSlow(seq int64) *DynInst {
 	for {
 		rp.chunks, rp.n, rp.done = rp.r.snapshot()

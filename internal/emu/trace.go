@@ -33,6 +33,11 @@ func NewTrace(m *Machine) *Trace {
 // At returns the dynamic instruction with sequence number seq, extending
 // the trace as necessary. It returns nil if the program halts before seq
 // is reached. seq must be >= the last Release point.
+//
+// Each instruction is emulated and buffered exactly once, amortized
+// across the cycles that replay it.
+//
+//md:allocok lazy materialization boundary, amortized once per instruction
 func (t *Trace) At(seq int64) *DynInst {
 	if seq < t.base {
 		panic("emu: Trace.At before released prefix")

@@ -15,7 +15,7 @@ import (
 // artifacts so downstream diffs can tell schema or semantics changes
 // apart from genuine result drift. Bump on any change to the artifact
 // schema or to what the runner measures.
-const RunnerVersion = "mdspec-runner/2"
+const RunnerVersion = "mdspec-runner/3"
 
 // Provenance identifies one simulation well enough to reproduce it:
 // which benchmark ran under which configuration (by paper-style name
@@ -121,10 +121,17 @@ var csvHeader = []string{
 	"bench", "config", "config_hash", "insts", "wall_seconds",
 	"cycles", "committed", "ipc", "misspec_rate", "false_dep_rate",
 	"false_dep_latency", "branch_miss_rate", "squashed_insts", "sync_waits",
+	"committed_loads", "committed_stores", "forwards", "skipped",
+	"dcache_accesses", "dcache_misses", "icache_accesses", "icache_misses",
+	"stall_empty", "stall_mem", "stall_exec",
 }
 
 // WriteCSV serializes the per-run records as one flat CSV row each,
-// carrying the same provenance columns as the JSON form.
+// carrying the same provenance columns as the JSON form. It is the
+// statsguard serialization sink: every exported stats.Run counter must
+// appear here, directly or through a derived metric.
+//
+//md:statssink
 func (rs *Results) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
@@ -145,6 +152,17 @@ func (rs *Results) WriteCSV(w io.Writer) error {
 			fmt.Sprintf("%.6f", s.BranchMissRate()),
 			fmt.Sprintf("%d", s.SquashedInsts),
 			fmt.Sprintf("%d", s.SyncWaits),
+			fmt.Sprintf("%d", s.CommittedLoads),
+			fmt.Sprintf("%d", s.CommittedStores),
+			fmt.Sprintf("%d", s.Forwards),
+			fmt.Sprintf("%d", s.Skipped),
+			fmt.Sprintf("%d", s.DCacheAccesses),
+			fmt.Sprintf("%d", s.DCacheMisses),
+			fmt.Sprintf("%d", s.ICacheAccesses),
+			fmt.Sprintf("%d", s.ICacheMisses),
+			fmt.Sprintf("%d", s.StallEmpty),
+			fmt.Sprintf("%d", s.StallMem),
+			fmt.Sprintf("%d", s.StallExec),
 		}
 		if err := cw.Write(row); err != nil {
 			return err

@@ -14,6 +14,13 @@ import (
 )
 
 // Run is the outcome of a single simulation.
+//
+// Every exported counter added here must also reach the flat CSV
+// schema in internal/experiments (the JSON artifact marshals the whole
+// struct and cannot drift): mdlint's statsguard analyzer enforces the
+// pairing between this annotation and the //md:statssink functions.
+//
+//md:statsstruct
 type Run struct {
 	Config    string // configuration name, e.g. "NAS/SYNC"
 	Workload  string // benchmark name, e.g. "126.gcc"
