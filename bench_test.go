@@ -8,12 +8,14 @@ package mdspec
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"mdspec/internal/config"
 	"mdspec/internal/core"
 	"mdspec/internal/emu"
 	"mdspec/internal/experiments"
+	"mdspec/internal/parsim"
 	"mdspec/internal/stats"
 	"mdspec/internal/workload"
 )
@@ -363,6 +365,57 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 					b.Fatal(err)
 				}
 				res, err := pipe.Run(50_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				simulated += res.Committed
+			}
+			b.ReportMetric(float64(simulated)/b.Elapsed().Seconds(), "sim-insts/s")
+		})
+	}
+}
+
+// BenchmarkSampledParallel measures the interval-parallel sampled
+// engine against serial RunSampled at the same sampling budget (the
+// paper's 1:2 timing:functional ratio on the gcc analog). The serial
+// and worker-count variants all simulate identical timing windows over
+// one shared recording, so their sim-insts/s ratios are wall-clock
+// speedups at equal work; the merged counters are bit-identical across
+// all variants by construction.
+func BenchmarkSampledParallel(b *testing.B) {
+	const total, tw, fw = 200_000, 5_000, 10_000
+	rec := emu.NewRecording(emu.New(workload.MustBuild("126.gcc")))
+	cfg := config.Default128().WithPolicy(config.Sync)
+	// Fill the recording once (untimed) so every variant replays a cached
+	// stream instead of paying the one-time emulation.
+	if pipe, err := core.New(cfg, rec.NewReplay()); err != nil {
+		b.Fatal(err)
+	} else if _, err := pipe.RunSampled(total, tw, fw); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		var simulated int64
+		for i := 0; i < b.N; i++ {
+			pipe, err := core.New(cfg, rec.NewReplay())
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := pipe.RunSampled(total, tw, fw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			simulated += res.Committed
+		}
+		b.ReportMetric(float64(simulated)/b.Elapsed().Seconds(), "sim-insts/s")
+	})
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("par%d", workers), func(b *testing.B) {
+			var simulated int64
+			for i := 0; i < b.N; i++ {
+				res, err := parsim.Run(bg, cfg, rec, parsim.Options{
+					TotalTiming: total, TimingInsts: tw, FunctionalInsts: fw, Workers: workers,
+				})
 				if err != nil {
 					b.Fatal(err)
 				}

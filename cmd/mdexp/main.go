@@ -2,8 +2,9 @@
 //
 // Usage:
 //
-//	mdexp [-n insts] [-bench list] [-par N] [-json|-csv] [-out file] [-quiet]
-//	      [-cpuprofile file] [-memprofile file] <experiment>...
+//	mdexp [-n insts] [-bench list] [-par N] [-sampled T:F] [-json|-csv]
+//	      [-out file] [-quiet] [-cpuprofile file] [-memprofile file]
+//	      [-trace file] <experiment>...
 //
 // Flags and experiment names may be interleaved, so
 // "mdexp -json -out results.json all -n 20000 -bench 126.gcc" works.
@@ -106,6 +107,8 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress the live stderr progress line")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
+	sampled := flag.String("sampled", "", "sampled simulation with windows T:F instructions (e.g. 5000:10000); -n becomes the total timing budget")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mdexp [flags] <experiment>...\nexperiments: %s all\n",
 			strings.Join(names(), " "))
@@ -131,7 +134,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	stopProf, err := profiling.Start(*cpuProf, *memProf, *tracePath)
 	if err != nil {
 		fatal(err)
 	}
@@ -153,6 +156,14 @@ func main() {
 	}
 
 	opt := experiments.Options{Insts: *insts, Parallel: *par}
+	if *sampled != "" {
+		var tw, fw int64
+		if _, err := fmt.Sscanf(*sampled, "%d:%d", &tw, &fw); err != nil {
+			fatal(fmt.Errorf("bad -sampled %q (want T:F): %v", *sampled, err))
+		}
+		opt.Sampled = true
+		opt.TimingWindow, opt.FunctionalWindow = tw, fw
+	}
 	if *benchList != "" {
 		benches, err := workload.ParseNames(*benchList)
 		if err != nil {

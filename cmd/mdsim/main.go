@@ -4,8 +4,13 @@
 // Usage:
 //
 //	mdsim [-n insts] [-w bench] [-policy NO|NAV|SEL|STORE|SYNC|ORACLE|SSET]
-//	      [-as] [-aslat N] [-split N] [-window N] [-json] [-out file]
-//	      [-cpuprofile file] [-memprofile file]
+//	      [-as] [-aslat N] [-split N] [-window N] [-sample T:F] [-par N]
+//	      [-json] [-out file] [-cpuprofile file] [-memprofile file]
+//	      [-trace file]
+//
+// With -sample, -par shards the sampled run across N workers using the
+// interval-parallel engine (0 = one per CPU core; default 1 = serial);
+// the result is bit-identical for every N.
 //
 // With -json, a single provenance-carrying run record (config name and
 // hash, instruction budget, wall time, runner version, raw counters) is
@@ -13,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +29,7 @@ import (
 	"mdspec/internal/core"
 	"mdspec/internal/emu"
 	"mdspec/internal/experiments"
+	"mdspec/internal/parsim"
 	"mdspec/internal/profiling"
 	"mdspec/internal/prog"
 	"mdspec/internal/stats"
@@ -41,13 +48,15 @@ func main() {
 	selinv := flag.Bool("selinv", false, "recover with selective invalidation instead of squashing")
 	wrongPath := flag.Bool("wrongpath", false, "model wrong-path instruction fetch during mispredictions")
 	sample := flag.String("sample", "", "sampled simulation as T:F instructions (e.g. 50000:100000)")
+	par := flag.Int("par", 1, "workers for an interval-parallel sampled run (with -sample; 0 = one per core)")
 	jsonOut := flag.Bool("json", false, "write a JSON run record instead of the text report")
 	outPath := flag.String("out", "", "destination file for -json (default stdout)")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
-	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	stopProf, err := profiling.Start(*cpuProf, *memProf, *tracePath)
 	if err != nil {
 		fatal(err)
 	}
@@ -96,22 +105,40 @@ func main() {
 			fatal(err)
 		}
 	}
-	pl, err := core.New(cfg, emu.NewTrace(emu.New(p)))
-	if err != nil {
-		fatal(err)
+	var tw, fw int64
+	if *sample != "" {
+		if _, err := fmt.Sscanf(*sample, "%d:%d", &tw, &fw); err != nil {
+			fatal(fmt.Errorf("bad -sample %q (want T:F): %v", *sample, err))
+		}
 	}
 	var r *stats.Run
 	start := time.Now()
-	if *sample != "" {
-		var tw, fw int64
-		if _, err := fmt.Sscanf(*sample, "%d:%d", &tw, &fw); err != nil {
-			fatal(fmt.Errorf("bad -sample %q (want T:F): %v", *sample, err))
+	switch {
+	case *sample != "" && *par != 1:
+		// Interval-parallel sampled run over a shared recording.
+		rec := emu.NewRecording(emu.New(p))
+		r, err = parsim.Run(context.Background(), cfg, rec, parsim.Options{
+			TotalTiming: *n, TimingInsts: tw, FunctionalInsts: fw, Workers: *par,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	case *sample != "":
+		pl, err := core.New(cfg, emu.NewTrace(emu.New(p)))
+		if err != nil {
+			fatal(err)
 		}
 		if r, err = pl.RunSampled(*n, tw, fw); err != nil {
 			fatal(err)
 		}
-	} else if r, err = pl.Run(*n); err != nil {
-		fatal(err)
+	default:
+		pl, err := core.New(cfg, emu.NewTrace(emu.New(p)))
+		if err != nil {
+			fatal(err)
+		}
+		if r, err = pl.Run(*n); err != nil {
+			fatal(err)
+		}
 	}
 	wall := time.Since(start)
 	r.Workload = *bench

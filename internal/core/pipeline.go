@@ -241,6 +241,15 @@ type Pipeline struct {
 	// recovery actions can edit the address chains mid-walk.
 	violScratch []int64
 
+	// warm replays functional windows (and interval-parallel warm-up)
+	// into this pipeline's caches and branch predictor; see warm.go.
+	warm Warmer
+
+	// cycleBase is subtracted from the cycle counter when reporting
+	// Cycles: a sampled segment's detailed warm-up advances the clock but
+	// is erased from the statistics (see Pipeline.resetStats).
+	cycleBase int64
+
 	// san holds the mdsan sanitizer's preallocated scratch; empty (and
 	// sanitize a no-op) unless built with -tags mdsan.
 	san mdsanState
@@ -316,6 +325,7 @@ func New(cfg config.Machine, trace emu.Stream) (*Pipeline, error) {
 			p.unitFetchSeq[i] = noSeq
 		}
 	}
+	p.warm = Warmer{trace: trace, hier: h, bp: p.bp}
 	p.res.Config = cfg.Name()
 	return p, nil
 }
@@ -363,12 +373,18 @@ func (p *Pipeline) Run(maxInsts int64) (*stats.Run, error) {
 				p.cycle, p.res.Committed, maxInsts, p.cfg.Name(), p.deadlockSnapshot())
 		}
 	}
-	p.res.Cycles = p.cycle
+	p.captureMemStats()
+	return &p.res, nil
+}
+
+// captureMemStats copies the memory system's counters into the result at
+// the end of a run.
+func (p *Pipeline) captureMemStats() {
+	p.res.Cycles = p.cycle - p.cycleBase
 	p.res.DCacheAccesses = p.hier.D.Stats.Accesses
 	p.res.DCacheMisses = p.hier.D.Stats.Misses
 	p.res.ICacheAccesses = p.hier.I.Stats.Accesses
 	p.res.ICacheMisses = p.hier.I.Stats.Misses
-	return &p.res, nil
 }
 
 // deadlockSnapshot renders a one-shot dump of the machine state for the

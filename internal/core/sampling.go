@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"mdspec/internal/cache"
 	"mdspec/internal/stats"
 )
 
@@ -10,54 +11,184 @@ import (
 // timing windows of timingInsts committed instructions alternate with
 // functional-only windows of functionalInsts instructions during which
 // the caches and the branch predictor stay warm but no cycles are
-// charged. It stops once totalTiming instructions have committed in
-// timing mode (or the trace ends). A 1:2 "timing:functional" ratio from
-// the paper's Table 1 corresponds to functionalInsts = 2*timingInsts.
+// charged. It covers ceil(totalTiming/timingInsts) sampling periods (or
+// stops when the trace ends), committing at least totalTiming
+// instructions in timing mode. A 1:2 "timing:functional" ratio from the
+// paper's Table 1 corresponds to functionalInsts = 2*timingInsts.
+//
+// The sampling periods are anchored at fixed stream positions
+// (k * (timingInsts+functionalInsts)), so a serial RunSampled simulates
+// exactly the same timing regions as the interval-parallel engine
+// (internal/parsim) at the same budget — the two differ only in how the
+// microarchitectural state reaching each segment was warmed.
 func (p *Pipeline) RunSampled(totalTiming, timingInsts, functionalInsts int64) (*stats.Run, error) {
+	if err := p.checkSampled(timingInsts, functionalInsts); err != nil {
+		return nil, err
+	}
+	nPeriods := (totalTiming + timingInsts - 1) / timingInsts
+	return p.RunSampledInterval(0, nPeriods*(timingInsts+functionalInsts), timingInsts, functionalInsts, 0)
+}
+
+// RunSampledInterval runs the timing/functional alternation over the
+// stream region [start, end): the machine is functionally fast-forwarded
+// toward start (caches and branch predictor warm, no cycles charged, no
+// statistics recorded), then sampling periods of timingInsts +
+// functionalInsts instructions are simulated back to back, each anchored
+// at the absolute stream position start + k*period.
+//
+// warmupInsts requests a detailed-but-unmeasured warm-up: the last
+// warmupInsts instructions before start are simulated in full timing
+// mode and then erased from the statistics. Functional warming cannot
+// train state that only timing exposes — above all the memory dependence
+// predictors, which learn from violations and synchronizations — so a
+// mid-stream segment entered with a purely functional warm-up starts
+// with a cold MDPT and overstates misspeculation. The warm-up stretch
+// covers the tail of the preceding functional region (positions serial
+// sampling merely warms), closing that gap.
+//
+// It is the per-segment engine of the interval-parallel orchestrator
+// (internal/parsim), which decomposes one sampled run into such segments
+// on period boundaries. Because every window is delimited by absolute
+// stream positions rather than committed-instruction counts, a segment's
+// result depends only on (configuration, stream, bounds, windows) —
+// never on which worker ran it or when — so the merged result is
+// bit-identical for any worker count.
+func (p *Pipeline) RunSampledInterval(start, end, timingInsts, functionalInsts, warmupInsts int64) (*stats.Run, error) {
+	if err := p.checkSampled(timingInsts, functionalInsts); err != nil {
+		return nil, err
+	}
+	if start < 0 || end <= start {
+		return nil, fmt.Errorf("core: invalid sampling interval [%d, %d)", start, end)
+	}
+	if warmupInsts < 0 {
+		return nil, fmt.Errorf("core: invalid warm-up length %d", warmupInsts)
+	}
+	if warmupInsts > start {
+		warmupInsts = start
+	}
+	period := timingInsts + functionalInsts
+	maxCycles := (end-start+warmupInsts)*200 + 100_000
+	p.prewarm(start - warmupInsts)
+	if warmupInsts > 0 && !p.finished() {
+		// Detailed warm-up: timing-simulate [start-warmupInsts, start),
+		// then drain and erase every trace of it from the statistics.
+		for p.headSeq < start && !p.finished() {
+			p.step()
+			if p.cycle > maxCycles {
+				return nil, fmt.Errorf("core: no forward progress in sampled warm-up (%s)", p.cfg.Name())
+			}
+		}
+		if !p.finished() {
+			if err := p.drainWindow(maxCycles); err != nil {
+				return nil, err
+			}
+			if n := start - p.fetchSeq; n > 0 {
+				p.skipFunctional(n)
+			}
+		}
+		p.resetStats()
+	}
+	for pStart := start; pStart < end && !p.finished(); pStart += period {
+		boundary := pStart + period
+		if boundary > end {
+			boundary = end
+		}
+		if p.headSeq >= boundary {
+			continue // an earlier drain overshot this entire period
+		}
+		if tEnd := min64(pStart+timingInsts, end); p.headSeq < tEnd {
+			// Timing window, delimited by stream position.
+			for p.headSeq < tEnd && !p.finished() {
+				p.step()
+				if p.cycle > maxCycles {
+					return nil, fmt.Errorf("core: no forward progress in sampled segment (%s)", p.cfg.Name())
+				}
+			}
+			if p.finished() {
+				break
+			}
+			if err := p.drainWindow(maxCycles); err != nil {
+				return nil, err
+			}
+		}
+		// Functional window: skip to the next period boundary (the drain
+		// may already have carried the machine into, or past, it). The
+		// last period's trailing window warms state no further timing
+		// window will observe, so it is elided.
+		if boundary < end {
+			if n := boundary - p.fetchSeq; n > 0 {
+				p.skipFunctional(n)
+			}
+		}
+	}
+	p.captureMemStats()
+	return &p.res, nil
+}
+
+// checkSampled validates the shared preconditions of the sampled entry
+// points: a continuous window, sane window sizes, an unused pipeline.
+func (p *Pipeline) checkSampled(timingInsts, functionalInsts int64) error {
 	if p.cfg.SplitWindow {
-		return nil, fmt.Errorf("core: sampling is not supported with a split window")
+		return fmt.Errorf("core: sampling is not supported with a split window")
 	}
 	if timingInsts <= 0 || functionalInsts < 0 {
-		return nil, fmt.Errorf("core: invalid sampling windows %d:%d", timingInsts, functionalInsts)
+		return fmt.Errorf("core: invalid sampling windows %d:%d", timingInsts, functionalInsts)
 	}
-	if p.cycle != 0 || p.res.Committed != 0 {
-		return nil, fmt.Errorf("core: RunSampled called on a used Pipeline")
+	if p.cycle != 0 || p.res.Committed != 0 || p.headSeq != 0 {
+		return fmt.Errorf("core: sampled run called on a used Pipeline")
 	}
-	maxCycles := totalTiming*200 + 100_000
-	for p.res.Committed < totalTiming && !p.finished() {
-		target := p.res.Committed + timingInsts
-		if target > totalTiming {
-			target = totalTiming
+	return nil
+}
+
+// prewarm functionally advances a fresh pipeline to stream position seq
+// and re-anchors the empty window there. The warm-up leaves no trace in
+// the statistics: nothing is counted as skipped, and the cache and
+// memory counters are reset afterwards, so the pipeline reports only its
+// own segment's behavior.
+func (p *Pipeline) prewarm(seq int64) {
+	if seq > 0 {
+		p.warm.Advance(seq)
+		p.fetchSeq = p.warm.seq
+		if p.warm.ended {
+			p.markTraceEnd()
 		}
-		// Timing window.
-		for p.res.Committed < target && !p.finished() {
-			p.step()
-			if p.cycle > maxCycles {
-				return nil, fmt.Errorf("core: no forward progress in sampled run (%s)", p.cfg.Name())
-			}
-		}
-		if p.res.Committed >= totalTiming || p.finished() {
-			break
-		}
-		// Drain the window so the machine is architecturally clean.
-		p.draining = true
-		for p.headSeq < p.dispatchSeq || len(p.fetchQ) > 0 {
-			p.step()
-			if p.cycle > maxCycles {
-				p.draining = false
-				return nil, fmt.Errorf("core: drain stalled in sampled run (%s)", p.cfg.Name())
-			}
-		}
-		p.draining = false
-		// Functional window: warm structures, charge no cycles.
-		p.skipFunctional(functionalInsts)
+		p.headSeq = p.fetchSeq
+		p.dispatchSeq = p.fetchSeq
+		p.trace.Release(p.headSeq)
 	}
-	p.res.Cycles = p.cycle
-	p.res.DCacheAccesses = p.hier.D.Stats.Accesses
-	p.res.DCacheMisses = p.hier.D.Stats.Misses
-	p.res.ICacheAccesses = p.hier.I.Stats.Accesses
-	p.res.ICacheMisses = p.hier.I.Stats.Misses
-	return &p.res, nil
+	p.hier.D.Stats = cache.Stats{}
+	p.hier.I.Stats = cache.Stats{}
+	p.hier.L2.Stats = cache.Stats{}
+	p.hier.Mem.Accesses = 0
+}
+
+// resetStats erases everything simulated so far from the statistics —
+// the detailed warm-up of a mid-stream segment trains predictors and
+// caches but must not be measured. Identity fields survive; cycles are
+// reported relative to the new base from here on.
+func (p *Pipeline) resetStats() {
+	cfgName, wl := p.res.Config, p.res.Workload
+	p.res = stats.Run{Config: cfgName, Workload: wl}
+	p.cycleBase = p.cycle
+	p.hier.D.Stats = cache.Stats{}
+	p.hier.I.Stats = cache.Stats{}
+	p.hier.L2.Stats = cache.Stats{}
+	p.hier.Mem.Accesses = 0
+}
+
+// drainWindow pauses fetch and steps until the window is architecturally
+// clean (everything fetched has committed).
+func (p *Pipeline) drainWindow(maxCycles int64) error {
+	p.draining = true
+	for p.headSeq < p.dispatchSeq || len(p.fetchQ) > 0 {
+		p.step()
+		if p.cycle > maxCycles {
+			p.draining = false
+			return fmt.Errorf("core: drain stalled in sampled run (%s)", p.cfg.Name())
+		}
+	}
+	p.draining = false
+	return nil
 }
 
 // finished reports whether every instruction of a finite program has
@@ -66,35 +197,19 @@ func (p *Pipeline) finished() bool {
 	return p.traceEnded && p.headSeq >= p.traceLen
 }
 
-// skipFunctional advances n instructions functionally: branch predictor
-// and caches observe the stream (staying warm) but no pipeline timing is
-// modeled. The window must be empty.
+// skipFunctional advances n instructions functionally via the embedded
+// Warmer: branch predictor and caches observe the stream (staying warm)
+// but no pipeline timing is modeled. The window must be empty.
 func (p *Pipeline) skipFunctional(n int64) {
-	var lastBlock uint32
-	haveBlock := false
-	for i := int64(0); i < n; i++ {
-		d := p.trace.At(p.fetchSeq)
-		if d == nil {
-			p.markTraceEnd()
-			break
-		}
-		if blk := d.PC >> iCacheBlockShift; !haveBlock || blk != lastBlock {
-			p.hier.I.Warm(d.PC, false)
-			lastBlock, haveBlock = blk, true
-		}
-		switch {
-		case d.IsLoad():
-			p.hier.D.Warm(d.Addr, false)
-		case d.IsStore():
-			p.hier.D.Warm(d.Addr, true)
-		case d.Inst.Op.IsCondBranch():
-			pred := p.bp.PredictDirection(d.PC)
-			hist := p.bp.History()
-			p.bp.SpeculateHistory(pred)
-			p.bp.Resolve(d.PC, hist, pred, d.Taken)
-		}
-		p.fetchSeq++
-		p.res.Skipped++
+	// Each functional window re-observes its first instruction block; the
+	// warmer's block-transition state does not survive the timing window
+	// in between.
+	p.warm.seq = p.fetchSeq
+	p.warm.haveBlock = false
+	p.res.Skipped += p.warm.Advance(n)
+	p.fetchSeq = p.warm.seq
+	if p.warm.ended && !p.traceEnded {
+		p.markTraceEnd()
 	}
 	// Re-anchor the (empty) window after the skipped region.
 	p.headSeq = p.fetchSeq
@@ -105,4 +220,11 @@ func (p *Pipeline) skipFunctional(n int64) {
 		p.fetchResumeAt = p.cycle
 	}
 	p.trace.Release(p.headSeq)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }

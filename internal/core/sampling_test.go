@@ -1,10 +1,12 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"mdspec/internal/config"
 	"mdspec/internal/emu"
+	"mdspec/internal/stats"
 	"mdspec/internal/workload"
 )
 
@@ -81,5 +83,102 @@ func TestSampledFiniteProgramEnds(t *testing.T) {
 	}
 	if r.Committed+r.Skipped < 3000 {
 		t.Errorf("run should cover the whole program: committed %d + skipped %d", r.Committed, r.Skipped)
+	}
+}
+
+// TestSampledRunDeterministic: two sampled runs of the same benchmark
+// under the same configuration must agree on every counter — the
+// simulator has no hidden nondeterminism for sampling to amplify.
+func TestSampledRunDeterministic(t *testing.T) {
+	run := func() stats.Run {
+		p := workload.MustBuild("099.go")
+		pl, err := New(config.Default128().WithPolicy(config.Sync), emu.NewTrace(emu.New(p)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := pl.RunSampled(24_000, 3_000, 6_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *r
+	}
+	first, again := run(), run()
+	if !reflect.DeepEqual(first, again) {
+		t.Errorf("sampled runs differ:\nfirst: %+v\nagain: %+v", first, again)
+	}
+}
+
+// TestSampledTraceEndsMidFunctionalWindow: when the program runs out in
+// the middle of a functional window, the run must re-anchor cleanly at
+// the trace end and cover every instruction exactly once rather than
+// stall or overrun.
+func TestSampledTraceEndsMidFunctionalWindow(t *testing.T) {
+	p := workload.KernelRecurrence(500)
+	full, _ := New(config.Default128().WithPolicy(config.Naive), emu.NewTrace(emu.New(p)))
+	fr, err := full.Run(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	length := fr.Committed
+
+	// One timing window, then a functional window longer than the rest of
+	// the program: the trace necessarily ends inside the functional skip.
+	pl, _ := New(config.Default128().WithPolicy(config.Naive), emu.NewTrace(emu.New(p)))
+	r, err := pl.RunSampled(2*length, 1_000, 2*length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Skipped == 0 {
+		t.Fatal("functional window should have skipped instructions")
+	}
+	if got := r.Committed + r.Skipped; got != length {
+		t.Errorf("covered %d instructions (committed %d + skipped %d), program has %d",
+			got, r.Committed, r.Skipped, length)
+	}
+}
+
+// TestSampledBudgetExceedsProgram: a timing budget larger than the whole
+// program degenerates to a full timing run — everything commits in
+// timing mode, nothing is skipped.
+func TestSampledBudgetExceedsProgram(t *testing.T) {
+	p := workload.KernelRecurrence(200)
+	full, _ := New(config.Default128().WithPolicy(config.Naive), emu.NewTrace(emu.New(p)))
+	fr, err := full.Run(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pl, _ := New(config.Default128().WithPolicy(config.Naive), emu.NewTrace(emu.New(p)))
+	r, err := pl.RunSampled(1<<20, 1<<20, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Skipped != 0 {
+		t.Errorf("oversized timing window skipped %d instructions", r.Skipped)
+	}
+	if r.Committed != fr.Committed {
+		t.Errorf("committed %d, full run committed %d", r.Committed, fr.Committed)
+	}
+}
+
+// TestSampledIntervalWarmupClamped: a warm-up longer than the stream
+// before the segment start is clamped, so segment 0 with any warm-up
+// equals segment 0 with none.
+func TestSampledIntervalWarmupClamped(t *testing.T) {
+	run := func(warmup int64) stats.Run {
+		p := workload.MustBuild("129.compress")
+		pl, err := New(config.Default128().WithPolicy(config.Sync), emu.NewTrace(emu.New(p)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := pl.RunSampledInterval(0, 18_000, 3_000, 6_000, warmup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *r
+	}
+	none, clamped := run(0), run(5_000)
+	if !reflect.DeepEqual(none, clamped) {
+		t.Errorf("warm-up at stream start changed the result:\nnone: %+v\nclamped: %+v", none, clamped)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"mdspec/internal/config"
 	"mdspec/internal/core"
 	"mdspec/internal/emu"
+	"mdspec/internal/parsim"
 	"mdspec/internal/prog"
 	"mdspec/internal/stats"
 	"mdspec/internal/workload"
@@ -38,7 +39,24 @@ type Options struct {
 	// Benchmarks restricts the suite (default: all 18 of Table 1).
 	Benchmarks []string
 	// Parallel bounds concurrent simulations (default: GOMAXPROCS).
+	// Sampled runs draw their segment workers from the same budget, so a
+	// sweep never oversubscribes it.
 	Parallel int
+	// Sampled switches every simulation from full timing to the paper's
+	// sampled methodology (§3.1), executed interval-parallel: Insts
+	// becomes the committed-instruction budget summed over the timing
+	// windows. Split-window configurations do not support sampling and
+	// fall back to full timing runs.
+	Sampled bool
+	// TimingWindow and FunctionalWindow size one sampling period when
+	// Sampled is set (defaults 5_000 and 2*TimingWindow — the paper's 1:2
+	// timing:functional ratio).
+	TimingWindow     int64
+	FunctionalWindow int64
+	// SegmentPeriods is the interval-parallel segment size in sampling
+	// periods (default parsim.DefaultSegmentPeriods). It fixes the
+	// decomposition, so results are independent of Parallel.
+	SegmentPeriods int
 	// Hooks receives progress callbacks (all fields optional).
 	Hooks Hooks
 }
@@ -60,6 +78,20 @@ func (o Options) parallel() int {
 		return o.Parallel
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) timingWindow() int64 {
+	if o.TimingWindow > 0 {
+		return o.TimingWindow
+	}
+	return 5_000
+}
+
+func (o Options) functionalWindow() int64 {
+	if o.FunctionalWindow > 0 {
+		return o.FunctionalWindow
+	}
+	return 2 * o.timingWindow()
 }
 
 // Hooks are optional progress callbacks a Runner invokes around each
@@ -110,6 +142,13 @@ type Runner struct {
 	cacheMisses  atomic.Int64
 	simNanos     atomic.Int64
 
+	// sem is the runner's parallelism budget, shared between sweep jobs
+	// and (for sampled runs) each job's interval-parallel segment
+	// workers: a job holds one token while it simulates, and parsim takes
+	// extra tokens only when they are free, so the two levels together
+	// never exceed Options.Parallel.
+	sem parsim.Sem
+
 	// sim is the simulation implementation; tests substitute stubs to
 	// exercise singleflight, cancellation and error aggregation without
 	// paying for real simulations.
@@ -139,6 +178,7 @@ func NewRunner(opt Options) *Runner {
 		recs:     make(map[string]*emu.Recording),
 		cache:    make(map[runKey]*stats.Run),
 		inflight: make(map[runKey]*call),
+		sem:      parsim.NewSem(opt.parallel()),
 	}
 	r.sim = r.simulate
 	return r
@@ -200,11 +240,29 @@ func (r *Runner) recording(bench string) (*emu.Recording, error) {
 	return rec, nil
 }
 
-// simulate is the real simulation backend behind Run.
-func (r *Runner) simulate(_ context.Context, bench string, cfg config.Machine) (*stats.Run, error) {
+// simulate is the real simulation backend behind Run. With
+// Options.Sampled it runs the interval-parallel sampled engine, whose
+// segment workers borrow spare tokens from the runner's own parallelism
+// budget (split-window machines fall back to a full timing run —
+// sampling needs a continuous window).
+func (r *Runner) simulate(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, error) {
 	rec, err := r.recording(bench)
 	if err != nil {
 		return nil, err
+	}
+	if r.opt.Sampled && !cfg.SplitWindow {
+		res, err := parsim.Run(ctx, cfg, rec, parsim.Options{
+			TotalTiming:     r.opt.Insts,
+			TimingInsts:     r.opt.timingWindow(),
+			FunctionalInsts: r.opt.functionalWindow(),
+			SegmentPeriods:  r.opt.SegmentPeriods,
+			Sem:             r.sem,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Workload = bench
+		return res, nil
 	}
 	pl, err := core.New(cfg, rec.NewReplay())
 	if err != nil {
@@ -229,13 +287,16 @@ func (r *Runner) Run(ctx context.Context, bench string, cfg config.Machine) (*st
 		return nil, err
 	}
 	key := runKey{bench, cfg}
+	// Name() rebuilds the paper-style string on every call; the hook and
+	// error paths below use it up to three times, so build it once.
+	cfgName := cfg.Name()
 
 	r.mu.Lock()
 	if res, ok := r.cache[key]; ok {
 		r.mu.Unlock()
 		r.cacheHits.Add(1)
 		if r.opt.Hooks.CacheHit != nil {
-			r.opt.Hooks.CacheHit(bench, cfg.Name())
+			r.opt.Hooks.CacheHit(bench, cfgName)
 		}
 		return res, nil
 	}
@@ -248,7 +309,7 @@ func (r *Runner) Run(ctx context.Context, bench string, cfg config.Machine) (*st
 			}
 			r.cacheHits.Add(1)
 			if r.opt.Hooks.CacheHit != nil {
-				r.opt.Hooks.CacheHit(bench, cfg.Name())
+				r.opt.Hooks.CacheHit(bench, cfgName)
 			}
 			return c.res, nil
 		case <-ctx.Done():
@@ -262,13 +323,13 @@ func (r *Runner) Run(ctx context.Context, bench string, cfg config.Machine) (*st
 	r.cacheMisses.Add(1)
 	r.jobsStarted.Add(1)
 	if r.opt.Hooks.JobStarted != nil {
-		r.opt.Hooks.JobStarted(bench, cfg.Name())
+		r.opt.Hooks.JobStarted(bench, cfgName)
 	}
 	start := time.Now()
 	res, err := r.sim(ctx, bench, cfg)
 	wall := time.Since(start)
 	if err != nil {
-		err = fmt.Errorf("%s under %s: %w", bench, cfg.Name(), err)
+		err = fmt.Errorf("%s under %s: %w", bench, cfgName, err)
 	}
 	r.jobsFinished.Add(1)
 	r.simNanos.Add(int64(wall))
@@ -276,7 +337,7 @@ func (r *Runner) Run(ctx context.Context, bench string, cfg config.Machine) (*st
 		r.jobsFailed.Add(1)
 	}
 	if r.opt.Hooks.JobFinished != nil {
-		r.opt.Hooks.JobFinished(bench, cfg.Name(), wall, err)
+		r.opt.Hooks.JobFinished(bench, cfgName, wall, err)
 	}
 
 	r.mu.Lock()
@@ -304,20 +365,17 @@ type job struct {
 // ctx is canceled, jobs not yet running are abandoned and a single
 // context error is reported alongside any real failures.
 func (r *Runner) runAll(ctx context.Context, jobs []job) error {
-	sem := make(chan struct{}, r.opt.parallel())
 	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
 	for i, j := range jobs {
 		wg.Add(1)
 		go func(i int, j job) {
 			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-				defer func() { <-sem }()
-			case <-ctx.Done():
-				errs[i] = ctx.Err()
+			if err := r.sem.Acquire(ctx); err != nil {
+				errs[i] = err
 				return
 			}
+			defer r.sem.Release()
 			_, err := r.Run(ctx, j.bench, j.cfg)
 			errs[i] = err
 		}(i, j)
@@ -344,7 +402,7 @@ func (r *Runner) runAll(ctx context.Context, jobs []job) error {
 // prefetch runs the cross product of benchmarks and configs in parallel
 // so subsequent Run calls hit the memo.
 func (r *Runner) prefetch(ctx context.Context, benches []string, cfgs ...config.Machine) error {
-	var jobs []job
+	jobs := make([]job, 0, len(benches)*len(cfgs))
 	for _, b := range benches {
 		for _, c := range cfgs {
 			jobs = append(jobs, job{b, c})

@@ -49,6 +49,35 @@ func TestRunNamesFailingPair(t *testing.T) {
 	}
 }
 
+// TestRunnerSampled: with Options.Sampled, a continuous-window config
+// runs the interval-parallel sampled engine (visible as functionally
+// skipped instructions), a split-window config falls back to a full
+// timing run, and both land in the memo cache as usual.
+func TestRunnerSampled(t *testing.T) {
+	r := NewRunner(Options{Insts: 12_000, Sampled: true, TimingWindow: 2_000, FunctionalWindow: 4_000})
+	res, err := r.Run(bg, "129.compress", nas(config.Sync))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed < 12_000 {
+		t.Errorf("sampled run committed %d, want >= 12000", res.Committed)
+	}
+	if res.Skipped == 0 {
+		t.Error("sampled run should skip instructions functionally")
+	}
+	if res.Workload != "129.compress" {
+		t.Errorf("Workload = %q, want 129.compress", res.Workload)
+	}
+
+	split, err := r.Run(bg, "129.compress", nas(config.Naive).WithSplitWindow(4))
+	if err != nil {
+		t.Fatalf("split-window config under Sampled should fall back to full timing: %v", err)
+	}
+	if split.Skipped != 0 {
+		t.Errorf("split-window fallback skipped %d instructions, want 0", split.Skipped)
+	}
+}
+
 func TestRunnerSingleflight(t *testing.T) {
 	r := NewRunner(Options{Insts: 1000})
 	var sims atomic.Int64

@@ -1,6 +1,7 @@
-// Package profiling wires the standard pprof profilers into the
-// command-line tools, so simulator hot spots can be inspected with
-// `go tool pprof` without any external dependencies.
+// Package profiling wires the standard pprof profilers and the runtime
+// execution tracer into the command-line tools, so simulator hot spots
+// can be inspected with `go tool pprof` — and scheduling/parallelism
+// behavior with `go tool trace` — without any external dependencies.
 package profiling
 
 import (
@@ -8,13 +9,15 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 )
 
-// Start begins CPU profiling to cpuPath (when non-empty). The returned
-// stop function ends the CPU profile and, when memPath is non-empty,
-// writes an allocation (heap) profile taken after a final GC. Either
-// path may be empty; with both empty Start is a no-op.
-func Start(cpuPath, memPath string) (stop func() error, err error) {
+// Start begins CPU profiling to cpuPath and execution tracing to
+// tracePath (each when non-empty). The returned stop function ends the
+// CPU profile and the trace and, when memPath is non-empty, writes an
+// allocation (heap) profile taken after a final GC. Any path may be
+// empty; with all empty Start is a no-op.
+func Start(cpuPath, memPath, tracePath string) (stop func() error, err error) {
 	var cpuFile *os.File
 	if cpuPath != "" {
 		cpuFile, err = os.Create(cpuPath)
@@ -26,10 +29,35 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("start CPU profile: %w", err)
 		}
 	}
+	var traceFile *os.File
+	if tracePath != "" {
+		traceFile, err = os.Create(tracePath)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, err
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, fmt.Errorf("start execution trace: %w", err)
+		}
+	}
 	return func() error {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if traceFile != nil {
+			trace.Stop()
+			if err := traceFile.Close(); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,54 @@
+package stats
+
+// Merge combines per-segment Runs — in segment order — into one Run, as
+// if the segments had been simulated back to back on one machine. Every
+// raw counter is summed; Config and Workload are taken from the first
+// part (the interval-parallel engine runs all segments under one
+// configuration, so they agree by construction).
+//
+// Derived metrics of the merged Run are therefore ratios of sums:
+// IPC = ΣCommitted/ΣCycles weights every segment by the cycles it
+// simulated, and MisspecRate = ΣMisspeculations/ΣCommittedLoads weights
+// by committed loads — the same totals a single serial pass over the
+// whole stream would have accumulated, not an unweighted average of
+// per-segment ratios.
+//
+// Merge is deterministic in its input order: the interval-parallel
+// engine always passes segments in stream order regardless of which
+// worker finished first, which is half of its bit-identical-results
+// argument (the other half is that each segment's simulation depends
+// only on the shared recording and the segment bounds).
+func Merge(parts []*Run) *Run {
+	var m Run
+	seeded := false
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if !seeded {
+			m.Config, m.Workload = p.Config, p.Workload
+			seeded = true
+		}
+		m.Cycles += p.Cycles
+		m.Committed += p.Committed
+		m.CommittedLoads += p.CommittedLoads
+		m.CommittedStores += p.CommittedStores
+		m.Misspeculations += p.Misspeculations
+		m.SquashedInsts += p.SquashedInsts
+		m.FalseDepLoads += p.FalseDepLoads
+		m.FalseDepDelay += p.FalseDepDelay
+		m.Branches += p.Branches
+		m.BranchMispredicts += p.BranchMispredicts
+		m.DCacheAccesses += p.DCacheAccesses
+		m.DCacheMisses += p.DCacheMisses
+		m.ICacheAccesses += p.ICacheAccesses
+		m.ICacheMisses += p.ICacheMisses
+		m.Forwards += p.Forwards
+		m.SyncWaits += p.SyncWaits
+		m.Skipped += p.Skipped
+		m.StallEmpty += p.StallEmpty
+		m.StallMem += p.StallMem
+		m.StallExec += p.StallExec
+	}
+	return &m
+}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMergeSumsEveryCounter merges via reflection-built parts so a new
+// counter field added to Run cannot silently escape Merge: every
+// exported numeric field must come back summed.
+func TestMergeSumsEveryCounter(t *testing.T) {
+	mk := func(scale int64) *Run {
+		r := &Run{Config: "NAS/SYNC", Workload: "129.compress"}
+		v := reflect.ValueOf(r).Elem()
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			switch f.Kind() {
+			case reflect.Int64:
+				f.SetInt(scale * int64(i+1))
+			case reflect.Uint64:
+				f.SetUint(uint64(scale) * uint64(i+1))
+			}
+		}
+		return r
+	}
+	m := Merge([]*Run{mk(1), mk(10), mk(100)})
+	v := reflect.ValueOf(m).Elem()
+	typ := v.Type()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		want := 111 * int64(i+1)
+		switch f.Kind() {
+		case reflect.Int64:
+			if f.Int() != want {
+				t.Errorf("%s = %d, want %d (not summed by Merge?)", typ.Field(i).Name, f.Int(), want)
+			}
+		case reflect.Uint64:
+			if f.Uint() != uint64(want) {
+				t.Errorf("%s = %d, want %d (not summed by Merge?)", typ.Field(i).Name, f.Uint(), want)
+			}
+		}
+	}
+	if m.Config != "NAS/SYNC" || m.Workload != "129.compress" {
+		t.Errorf("identity fields lost: Config=%q Workload=%q", m.Config, m.Workload)
+	}
+}
+
+// TestMergeSkipsNilAndSeedsFromFirst: nil parts (skipped or failed
+// segments) are ignored, and identity comes from the first non-nil.
+func TestMergeSkipsNilAndSeedsFromFirst(t *testing.T) {
+	a := &Run{Config: "NAS/NAV", Workload: "099.go", Committed: 5, Cycles: 2}
+	b := &Run{Config: "NAS/NAV", Workload: "099.go", Committed: 7, Cycles: 3}
+	m := Merge([]*Run{nil, a, nil, b})
+	if m.Committed != 12 || m.Cycles != 5 {
+		t.Errorf("merged Committed=%d Cycles=%d, want 12 and 5", m.Committed, m.Cycles)
+	}
+	if m.Config != "NAS/NAV" || m.Workload != "099.go" {
+		t.Errorf("identity fields not taken from first non-nil part: %+v", m)
+	}
+	// IPC of the merge is the ratio of sums, not the mean of ratios.
+	if got, want := m.IPC(), 12.0/5.0; got != want {
+		t.Errorf("merged IPC = %v, want %v", got, want)
+	}
+}
