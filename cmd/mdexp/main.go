@@ -3,8 +3,9 @@
 // Usage:
 //
 //	mdexp [-n insts] [-bench list] [-par N] [-sampled T:F] [-json|-csv]
-//	      [-out file] [-quiet] [-cpuprofile file] [-memprofile file]
-//	      [-trace file] <experiment>...
+//	      [-out file] [-resume dir] [-retries N] [-quiet]
+//	      [-cpuprofile file] [-memprofile file] [-trace file]
+//	      <experiment>...
 //
 // Flags and experiment names may be interleaved, so
 // "mdexp -json -out results.json all -n 20000 -bench 126.gcc" works.
@@ -24,6 +25,17 @@
 // written to -out, or to stdout when -out is empty (suppressing the
 // text tables). With -csv, the per-run records are written as flat CSV
 // instead. See README.md for the artifact schema.
+//
+// With -resume <dir>, every finished (benchmark, config) cell is
+// journaled to <dir>/runs.journal as it completes, and a restarted
+// sweep pointed at the same directory replays the journal instead of
+// re-simulating — resume after a crash or SIGKILL is bit-identical to
+// an uninterrupted run. Transient cell failures (worker panics,
+// watchdog deadlock reports) are retried up to -retries attempts with
+// capped exponential backoff; a sampled cell that keeps failing falls
+// back to one serial sampled pass, and a cell that cannot be completed
+// at all is listed in the artifact's partial-results envelope instead
+// of aborting the sweep. See README.md ("Robustness & operations").
 package main
 
 import (
@@ -31,14 +43,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
+	"mdspec/internal/atomicio"
 	"mdspec/internal/experiments"
 	"mdspec/internal/profiling"
+	"mdspec/internal/retry"
 	"mdspec/internal/workload"
 )
 
@@ -109,6 +125,8 @@ func main() {
 	memProf := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	sampled := flag.String("sampled", "", "sampled simulation with windows T:F instructions (e.g. 5000:10000); -n becomes the total timing budget")
+	resumeDir := flag.String("resume", "", "checkpoint directory: journal finished cells there and replay them on restart")
+	retries := flag.Int("retries", 0, "attempts per cell before a transient failure abandons it (default 3)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mdexp [flags] <experiment>...\nexperiments: %s all\n",
 			strings.Join(names(), " "))
@@ -155,7 +173,15 @@ func main() {
 		}
 	}
 
-	opt := experiments.Options{Insts: *insts, Parallel: *par}
+	if *outPath != "" {
+		// Fail before hours of simulation, not after: prove the artifact
+		// destination is writable while the sweep is still cheap to abort.
+		if err := atomicio.ProbeDir(filepath.Dir(*outPath)); err != nil {
+			fatal(fmt.Errorf("-out %s: %w", *outPath, err))
+		}
+	}
+
+	opt := experiments.Options{Insts: *insts, Parallel: *par, Retry: retry.Policy{MaxAttempts: *retries}}
 	if *sampled != "" {
 		var tw, fw int64
 		if _, err := fmt.Sscanf(*sampled, "%d:%d", &tw, &fw); err != nil {
@@ -176,7 +202,20 @@ func main() {
 		progress = experiments.NewProgress(os.Stderr)
 		opt.Hooks = progress.Hooks()
 	}
+	var replayed []experiments.RunRecord
+	if *resumeDir != "" {
+		j, recs, err := experiments.OpenJournal(*resumeDir, opt)
+		if err != nil {
+			fatal(err)
+		}
+		defer j.Close()
+		opt.Journal = j
+		replayed = recs
+	}
 	runner := experiments.NewRunner(opt)
+	if n := runner.Prime(replayed); n > 0 {
+		fmt.Fprintf(os.Stderr, "mdexp: resumed %d finished cell(s) from %s\n", n, *resumeDir)
+	}
 	results := experiments.NewResults("mdexp", runner.Options())
 
 	// Artifacts aimed at stdout own it; keep the human tables off it.
@@ -186,7 +225,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var runErr error
+	var runErrs []error
+	canceled := false
 	for _, name := range expNames {
 		e, _ := lookup(name)
 		start := time.Now()
@@ -196,8 +236,16 @@ func main() {
 			progress.Done()
 		}
 		if err != nil {
-			runErr = fmt.Errorf("%s: %w", name, err)
-			break
+			results.AddFailedExperiment(name, rows, elapsed, err)
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				canceled = true
+				break
+			}
+			// A failing experiment no longer takes the rest of the sweep
+			// down: record it in the envelope and keep going.
+			runErrs = append(runErrs, fmt.Errorf("%s: %w", name, err))
+			fmt.Fprintf(os.Stderr, "mdexp: %s failed (continuing): %v\n", name, err)
+			continue
 		}
 		results.AddExperiment(name, rows, elapsed)
 		if printTables {
@@ -215,38 +263,46 @@ func main() {
 			fatal(err)
 		}
 		if *outPath != "" {
-			fmt.Fprintf(os.Stderr, "mdexp: wrote %s\n", *outPath)
+			kind := "results"
+			if results.Partial {
+				kind = "PARTIAL results"
+			}
+			fmt.Fprintf(os.Stderr, "mdexp: wrote %s (%s)\n", *outPath, kind)
 		}
 	}
-	if runErr != nil {
-		if errors.Is(runErr, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "mdexp: interrupted")
-			os.Exit(130)
+	if err := runner.JournalErr(); err != nil {
+		fmt.Fprintf(os.Stderr, "mdexp: warning: checkpoint journal degraded (resume may re-run cells): %v\n", err)
+	}
+	if ab := runner.Abandoned(); len(ab) > 0 {
+		fmt.Fprintf(os.Stderr, "mdexp: warning: %d cell(s) abandoned after retries:\n", len(ab))
+		for _, c := range ab {
+			fmt.Fprintf(os.Stderr, "  %s under %s (%d attempts)\n", c.Bench, c.Config, c.Attempts)
 		}
-		fatal(runErr)
+	}
+	if canceled {
+		fmt.Fprintln(os.Stderr, "mdexp: interrupted")
+		os.Exit(130)
+	}
+	if len(runErrs) > 0 {
+		fatal(errors.Join(runErrs...))
 	}
 }
 
 // writeArtifact writes the envelope as JSON (asJSON) or CSV to path, or
-// to stdout when path is empty.
-func writeArtifact(rs *experiments.Results, asJSON bool, path string) (err error) {
-	w := os.Stdout
-	if path != "" {
-		f, cerr := os.Create(path)
-		if cerr != nil {
-			return cerr
+// to stdout when path is empty. File destinations are replaced
+// atomically: a crash mid-write can never leave a truncated artifact
+// where a previous (or partial) one was.
+func writeArtifact(rs *experiments.Results, asJSON bool, path string) error {
+	emit := func(w io.Writer) error {
+		if asJSON {
+			return rs.WriteJSON(w)
 		}
-		defer func() {
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}()
-		w = f
+		return rs.WriteCSV(w)
 	}
-	if asJSON {
-		return rs.WriteJSON(w)
+	if path == "" {
+		return emit(os.Stdout)
 	}
-	return rs.WriteCSV(w)
+	return atomicio.WriteFile(path, emit)
 }
 
 func fatal(err error) {

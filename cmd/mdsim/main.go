@@ -22,9 +22,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"mdspec/internal/atomicio"
 	"mdspec/internal/config"
 	"mdspec/internal/core"
 	"mdspec/internal/emu"
@@ -185,24 +187,17 @@ func buildWorkload(name string) (*prog.Program, error) {
 }
 
 // writeRecord writes one provenance-carrying run record as indented
-// JSON to path, or stdout when path is empty.
-func writeRecord(rec experiments.RunRecord, path string) (err error) {
-	w := os.Stdout
-	if path != "" {
-		f, cerr := os.Create(path)
-		if cerr != nil {
-			return cerr
-		}
-		defer func() {
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}()
-		w = f
+// JSON to path (replaced atomically), or stdout when path is empty.
+func writeRecord(rec experiments.RunRecord, path string) error {
+	emit := func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rec)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rec)
+	if path == "" {
+		return emit(os.Stdout)
+	}
+	return atomicio.WriteFile(path, emit)
 }
 
 func missRate(m, a uint64) float64 {

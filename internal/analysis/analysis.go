@@ -81,12 +81,19 @@ func All() []*Analyzer {
 
 // DeterministicPackages lists the module-relative package paths whose
 // behavior must be bit-reproducible: the simulation core, the
-// functional emulator, the dependence predictors, and the statistics
-// they produce. The determinism analyzer is applied to exactly these.
+// functional emulator, the dependence predictors, the statistics they
+// produce, and the robustness layer (atomic artifact writes, the retry
+// schedule, the fault-injection harness) whose decisions must not
+// depend on wall clock, map order, or goroutine scheduling — resume
+// equivalence and reproducible fault tests hinge on it. The determinism
+// analyzer is applied to exactly these.
 var DeterministicPackages = []string{
+	"internal/atomicio",
 	"internal/core",
 	"internal/emu",
+	"internal/faultinject",
 	"internal/mdp",
+	"internal/retry",
 	"internal/stats",
 }
 

@@ -1,0 +1,94 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	for _, content := range []string{"first", "second longer content"} {
+		if err := WriteFile(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, content)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != content {
+			t.Fatalf("content = %q, want %q", got, content)
+		}
+	}
+}
+
+func TestWriteFileFailureLeavesDestinationIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("precious"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk full")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "precious" {
+		t.Fatalf("failed write corrupted the destination: %q", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s left behind after failed write", e.Name())
+		}
+	}
+}
+
+func TestProbeDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := ProbeDir(dir); err != nil {
+		t.Fatalf("writable dir: %v", err)
+	}
+	// A missing directory is created by the probe.
+	sub := filepath.Join(dir, "a", "b")
+	if err := ProbeDir(sub); err != nil {
+		t.Fatalf("missing dir should be created: %v", err)
+	}
+	if fi, err := os.Stat(sub); err != nil || !fi.IsDir() {
+		t.Fatalf("probe did not create %s", sub)
+	}
+	// A path blocked by a regular file fails up front.
+	file := filepath.Join(dir, "plainfile")
+	if err := os.WriteFile(file, nil, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := ProbeDir(filepath.Join(file, "sub")); err == nil {
+		t.Fatal("probe under a regular file should fail")
+	}
+	if os.Getuid() != 0 { // root ignores permission bits
+		ro := filepath.Join(dir, "ro")
+		if err := os.Mkdir(ro, 0o555); err != nil {
+			t.Fatal(err)
+		}
+		if err := ProbeDir(ro); err == nil {
+			t.Fatal("probe of a read-only dir should fail")
+		}
+	}
+}

@@ -1,0 +1,53 @@
+//go:build mdfault
+
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mdspec/internal/faultinject"
+)
+
+// TestInjectedWriteErrorLeavesDestination proves the error-at-Nth-write
+// injection point fires inside WriteFile and that an injected failure
+// degrades exactly like a real one: the call errors, the destination
+// keeps its previous content, and the next write succeeds.
+func TestInjectedWriteErrorLeavesDestination(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.json")
+	write := func(content string) error {
+		return WriteFile(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, content)
+			return err
+		})
+	}
+	if err := write("v1"); err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Arm(faultinject.Plan{
+		Site: faultinject.SiteAtomicWrite, N: 1, Kind: faultinject.KindError,
+	})
+	defer faultinject.Disarm()
+
+	err := write("v2")
+	var inj *faultinject.InjectedError
+	if !errors.As(err, &inj) {
+		t.Fatalf("err = %v, want injected write error", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v1" {
+		t.Fatalf("injected failure corrupted destination: %q", got)
+	}
+
+	// The plan fired once (N=1, no Repeat): the retry succeeds.
+	if err := write("v2"); err != nil {
+		t.Fatalf("write after injected failure: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v2" {
+		t.Fatalf("recovered write lost content: %q", got)
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+import "fmt"
+
+// DeadlockError is the watchdog's report that a simulation stopped
+// making forward progress (IPC collapsed below the livelock guard's
+// threshold). It is a typed error so the robustness layer above the
+// core can escalate it into a retry: a watchdog trip is treated as
+// transient — the retried cell gets a fresh Pipeline, and sampled runs
+// can fall back to a serial pass — rather than aborting a whole sweep.
+//
+// Phase names which engine tripped ("run" for Pipeline.Run, or the
+// sampled phases "sampled-warmup", "sampled-drain", "sampled-segment");
+// Snapshot, when present, carries the one-shot machine-state dump of
+// the continuous-run watchdog.
+type DeadlockError struct {
+	Config    string
+	Phase     string
+	Cycles    int64
+	Committed int64
+	Target    int64
+	Snapshot  string
+}
+
+func (e *DeadlockError) Error() string {
+	msg := fmt.Sprintf("core: no forward progress in %s after %d cycles (committed %d",
+		e.Phase, e.Cycles, e.Committed)
+	if e.Target > 0 {
+		msg += fmt.Sprintf("/%d", e.Target)
+	}
+	msg += fmt.Sprintf(", config %s)", e.Config)
+	if e.Snapshot != "" {
+		msg += "\n" + e.Snapshot
+	}
+	return msg
+}

@@ -369,8 +369,11 @@ func (p *Pipeline) Run(maxInsts int64) (*stats.Run, error) {
 		}
 		p.step()
 		if p.cycle > maxCycles {
-			return nil, fmt.Errorf("core: no forward progress after %d cycles (committed %d/%d, config %s)\n%s",
-				p.cycle, p.res.Committed, maxInsts, p.cfg.Name(), p.deadlockSnapshot())
+			return nil, &DeadlockError{
+				Config: p.cfg.Name(), Phase: "run",
+				Cycles: p.cycle, Committed: p.res.Committed, Target: maxInsts,
+				Snapshot: p.deadlockSnapshot(),
+			}
 		}
 	}
 	p.captureMemStats()

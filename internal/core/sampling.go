@@ -75,7 +75,7 @@ func (p *Pipeline) RunSampledInterval(start, end, timingInsts, functionalInsts, 
 		for p.headSeq < start && !p.finished() {
 			p.step()
 			if p.cycle > maxCycles {
-				return nil, fmt.Errorf("core: no forward progress in sampled warm-up (%s)", p.cfg.Name())
+				return nil, p.sampledDeadlock("sampled-warmup")
 			}
 		}
 		if !p.finished() {
@@ -101,7 +101,7 @@ func (p *Pipeline) RunSampledInterval(start, end, timingInsts, functionalInsts, 
 			for p.headSeq < tEnd && !p.finished() {
 				p.step()
 				if p.cycle > maxCycles {
-					return nil, fmt.Errorf("core: no forward progress in sampled segment (%s)", p.cfg.Name())
+					return nil, p.sampledDeadlock("sampled-segment")
 				}
 			}
 			if p.finished() {
@@ -123,6 +123,17 @@ func (p *Pipeline) RunSampledInterval(start, end, timingInsts, functionalInsts, 
 	}
 	p.captureMemStats()
 	return &p.res, nil
+}
+
+// sampledDeadlock builds the typed watchdog error for a stalled sampled
+// phase, with the same machine-state snapshot the continuous-run
+// watchdog emits.
+func (p *Pipeline) sampledDeadlock(phase string) *DeadlockError {
+	return &DeadlockError{
+		Config: p.cfg.Name(), Phase: phase,
+		Cycles: p.cycle, Committed: p.res.Committed,
+		Snapshot: p.deadlockSnapshot(),
+	}
 }
 
 // checkSampled validates the shared preconditions of the sampled entry
@@ -184,7 +195,7 @@ func (p *Pipeline) drainWindow(maxCycles int64) error {
 		p.step()
 		if p.cycle > maxCycles {
 			p.draining = false
-			return fmt.Errorf("core: drain stalled in sampled run (%s)", p.cfg.Name())
+			return p.sampledDeadlock("sampled-drain")
 		}
 	}
 	p.draining = false

@@ -15,7 +15,12 @@ import (
 // artifacts so downstream diffs can tell schema or semantics changes
 // apart from genuine result drift. Bump on any change to the artifact
 // schema or to what the runner measures.
-const RunnerVersion = "mdspec-runner/3"
+const RunnerVersion = "mdspec-runner/4"
+
+// FallbackSerialSampled marks a run whose interval-parallel sampled
+// simulation kept failing transiently and was completed by one serial
+// sampled pass instead (graceful degradation; see Runner).
+const FallbackSerialSampled = "serial-sampled"
 
 // Provenance identifies one simulation well enough to reproduce it:
 // which benchmark ran under which configuration (by paper-style name
@@ -34,9 +39,26 @@ type Provenance struct {
 // derived metrics, and the full raw counters.
 type RunRecord struct {
 	Provenance
+	// Attempts is how many simulation attempts the cell consumed
+	// (1 = clean first try; omitted for replayed pre-retry records).
+	Attempts int `json:"attempts,omitempty"`
+	// Fallback names the degraded backend that produced the result, if
+	// any (FallbackSerialSampled); empty for the primary engine.
+	Fallback    string     `json:"fallback,omitempty"`
 	IPC         float64    `json:"ipc"`
 	MisspecRate float64    `json:"misspec_rate"`
 	Stats       *stats.Run `json:"stats"`
+}
+
+// AbandonedCell names one (benchmark, configuration) pair the sweep
+// gave up on after exhausting its retry budget and any fallback. It is
+// the partial-results envelope's record of exactly what is missing.
+type AbandonedCell struct {
+	Bench      string `json:"bench"`
+	Config     string `json:"config"`
+	ConfigHash string `json:"config_hash"`
+	Attempts   int    `json:"attempts"`
+	Error      string `json:"error"`
 }
 
 // NewRunRecord assembles a provenance-carrying record for one run.
@@ -57,10 +79,13 @@ func NewRunRecord(bench string, cfg config.Machine, insts int64, wall time.Durat
 }
 
 // ExperimentResult is one experiment's typed rows inside a Results
-// envelope (Rows marshals to the row struct's JSON form).
+// envelope (Rows marshals to the row struct's JSON form). Error is set
+// when the experiment failed and its rows are absent or incomplete —
+// the sweep records the failure and moves on to the next experiment.
 type ExperimentResult struct {
 	Name    string  `json:"name"`
 	Seconds float64 `json:"seconds"`
+	Error   string  `json:"error,omitempty"`
 	Rows    any     `json:"rows"`
 }
 
@@ -76,6 +101,10 @@ type Results struct {
 	Experiments []ExperimentResult `json:"experiments"`
 	Runs        []RunRecord        `json:"runs"`
 	Metrics     Counters           `json:"metrics"`
+	// Partial marks an envelope missing results: some experiment failed
+	// or some cell was abandoned. Abandoned names every missing cell.
+	Partial   bool            `json:"partial,omitempty"`
+	Abandoned []AbandonedCell `json:"abandoned,omitempty"`
 }
 
 // NewResults starts an artifact envelope for the given tool and
@@ -100,11 +129,26 @@ func (rs *Results) AddExperiment(name string, rows any, d time.Duration) {
 	})
 }
 
-// Attach copies the runner's per-run records and metrics snapshot into
-// the envelope; call it once, after the sweep.
+// AddFailedExperiment records an experiment that errored out: its rows
+// (possibly partial or nil) are kept, the envelope is marked partial,
+// and the sweep continues with the next experiment.
+func (rs *Results) AddFailedExperiment(name string, rows any, d time.Duration, err error) {
+	rs.Experiments = append(rs.Experiments, ExperimentResult{
+		Name: name, Seconds: d.Seconds(), Error: err.Error(), Rows: rows,
+	})
+	rs.Partial = true
+}
+
+// Attach copies the runner's per-run records, abandoned cells, and
+// metrics snapshot into the envelope; call it once, after the sweep.
+// Any abandoned cell marks the envelope partial.
 func (rs *Results) Attach(r *Runner) {
 	if recs := r.Records(); recs != nil {
 		rs.Runs = recs
+	}
+	if ab := r.Abandoned(); len(ab) > 0 {
+		rs.Abandoned = ab
+		rs.Partial = true
 	}
 	rs.Metrics = r.Counters()
 }
@@ -119,6 +163,7 @@ func (rs *Results) WriteJSON(w io.Writer) error {
 // csvHeader is the flat per-run schema WriteCSV emits.
 var csvHeader = []string{
 	"bench", "config", "config_hash", "insts", "wall_seconds",
+	"attempts", "fallback",
 	"cycles", "committed", "ipc", "misspec_rate", "false_dep_rate",
 	"false_dep_latency", "branch_miss_rate", "squashed_insts", "sync_waits",
 	"committed_loads", "committed_stores", "forwards", "skipped",
@@ -143,6 +188,8 @@ func (rs *Results) WriteCSV(w io.Writer) error {
 			rec.Bench, rec.Config, rec.ConfigHash,
 			fmt.Sprintf("%d", rec.Insts),
 			fmt.Sprintf("%.6f", rec.WallSeconds),
+			fmt.Sprintf("%d", rec.Attempts),
+			rec.Fallback,
 			fmt.Sprintf("%d", s.Cycles),
 			fmt.Sprintf("%d", s.Committed),
 			fmt.Sprintf("%.6f", s.IPC()),

@@ -1,0 +1,104 @@
+//go:build mdfault
+
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mdspec/internal/config"
+	"mdspec/internal/faultinject"
+	"mdspec/internal/retry"
+	"mdspec/internal/stats"
+)
+
+// TestInjectedJobPanicRetried: a seeded panic at the runner.job site is
+// recovered into a *RunPanicError and retried; with the plan one-shot,
+// the retry succeeds and the cell's record shows the extra attempt.
+func TestInjectedJobPanicRetried(t *testing.T) {
+	r := NewRunner(Options{Insts: 1000, Retry: retry.Policy{MaxAttempts: 3}})
+	r.sleep = func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+	r.sim = func(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, error) {
+		return &stats.Run{Workload: bench, Config: cfg.Name(), Cycles: 2, Committed: 1}, nil
+	}
+
+	faultinject.Arm(faultinject.Plan{
+		Site: faultinject.SiteRunnerJob, N: 1, Kind: faultinject.KindPanic,
+	})
+	defer faultinject.Disarm()
+
+	var sawPanic bool
+	r.opt.Hooks.JobRetried = func(bench, cfg string, attempt int, err error) {
+		var pe *RunPanicError
+		if errors.As(err, &pe) {
+			if _, ok := pe.Value.(*faultinject.InjectedPanic); ok {
+				sawPanic = true
+			}
+		}
+	}
+
+	res, err := r.Run(bg, "126.gcc", nas(config.Naive))
+	if err != nil {
+		t.Fatalf("retry should absorb the one-shot injected panic: %v", err)
+	}
+	if res == nil || !sawPanic {
+		t.Fatalf("res=%v sawPanic=%v, want a result after retrying the injected panic", res, sawPanic)
+	}
+	recs := r.Records()
+	if len(recs) != 1 || recs[0].Attempts != 2 {
+		t.Errorf("record = %+v, want Attempts=2 (injected panic + clean retry)", recs[0])
+	}
+}
+
+// TestInjectedJournalAppendError: a seeded error at the journal.append
+// site must not fail the cell or the sweep — it surfaces through
+// JournalErr as degraded resumability, and the journal skips only the
+// poisoned entry.
+func TestInjectedJournalAppendError(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{Insts: 1000}
+	j, _, err := OpenJournal(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	opt.Journal = j
+
+	r := NewRunner(opt)
+	r.sim = func(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, error) {
+		return &stats.Run{Workload: bench, Config: cfg.Name(), Cycles: 2, Committed: 1}, nil
+	}
+
+	// Arm after the journal's init so its meta append is untouched;
+	// counting starts at Arm, so N=1 fires on the next run's append.
+	faultinject.Arm(faultinject.Plan{
+		Site: faultinject.SiteJournalAppend, N: 1, Kind: faultinject.KindError,
+	})
+	defer faultinject.Disarm()
+
+	if _, err := r.Run(bg, "126.gcc", nas(config.Naive)); err != nil {
+		t.Fatalf("journal failure must not fail the cell: %v", err)
+	}
+	if _, err := r.Run(bg, "126.gcc", nas(config.Sync)); err != nil {
+		t.Fatal(err)
+	}
+
+	jerr := r.JournalErr()
+	var inj *faultinject.InjectedError
+	if jerr == nil || !errors.As(jerr, &inj) {
+		t.Fatalf("JournalErr = %v, want the injected append error", jerr)
+	}
+
+	// The first cell's entry was lost (degraded resumability); the
+	// second was journaled normally.
+	j.Close()
+	_, recs, err := OpenJournal(dir, Options{Insts: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Config != "NAS/SYNC" {
+		t.Fatalf("journal replayed %+v, want only the NAS/SYNC cell", recs)
+	}
+}

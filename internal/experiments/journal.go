@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mdspec/internal/atomicio"
+	"mdspec/internal/faultinject"
+)
+
+// The journal is the sweep's write-ahead checkpoint store: every
+// completed (benchmark, configuration) simulation is appended to
+// <dir>/runs.journal as one length-prefixed, checksummed JSON entry the
+// moment it finishes, and `mdexp -resume <dir>` replays the file so
+// already-finished cells of a killed sweep are primed into the runner's
+// memo cache instead of re-simulated. Because each segment's statistics
+// depend only on (recording, config, options) — the determinism
+// contract the rest of the repository enforces — a replayed cell is
+// bit-identical to re-running it, which makes resume-after-SIGKILL
+// equivalent to an uninterrupted sweep.
+//
+// On-disk format: a magic line, then frames of
+//
+//	uint32 big-endian payload length
+//	uint32 big-endian CRC-32 (IEEE) of the payload
+//	payload JSON (one journalEntry)
+//
+// The first entry is a meta record fingerprinting the options that
+// produced the journal (runner version, instruction budget, sampling
+// windows); replay refuses a journal written under different options,
+// since its cells would not be the cells of this sweep. Appends are
+// fsynced entry by entry, so a crash can lose at most the entry being
+// written — and a torn tail (truncated frame or checksum mismatch) is
+// detected on the next open and truncated away, never parsed into the
+// cache.
+
+// journalName is the WAL's filename inside a -resume directory.
+const journalName = "runs.journal"
+
+// journalMagic identifies (and versions) the file format.
+const journalMagic = "mdspec-journal/1\n"
+
+// journalMeta fingerprints the sweep options a journal belongs to.
+type journalMeta struct {
+	Runner           string `json:"runner_version"`
+	Insts            int64  `json:"insts"`
+	Sampled          bool   `json:"sampled"`
+	TimingWindow     int64  `json:"timing_window,omitempty"`
+	FunctionalWindow int64  `json:"functional_window,omitempty"`
+	SegmentPeriods   int    `json:"segment_periods,omitempty"`
+}
+
+// metaFor derives the journal fingerprint of a sweep's options.
+func metaFor(opt Options) journalMeta {
+	m := journalMeta{Runner: RunnerVersion, Insts: opt.Insts, Sampled: opt.Sampled}
+	if opt.Sampled {
+		m.TimingWindow = opt.timingWindow()
+		m.FunctionalWindow = opt.functionalWindow()
+		m.SegmentPeriods = opt.SegmentPeriods
+	}
+	return m
+}
+
+// journalEntry is one framed record: exactly one of Meta or Run is set.
+type journalEntry struct {
+	Meta *journalMeta `json:"meta,omitempty"`
+	Run  *RunRecord   `json:"run,omitempty"`
+}
+
+// Journal is an append-only, checksummed WAL of completed runs.
+// Appends are serialized and fsynced; it is safe for concurrent use by
+// a Runner's sweep workers.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenJournal opens (or creates) the journal in dir for a sweep running
+// with opt, and returns the run records replayed from it (deduplicated,
+// last entry per (bench, config hash) wins — in practice cells are
+// journaled once). A torn tail left by a crash is truncated before the
+// journal is reopened for appending. A journal written under different
+// options (budget, sampling windows, runner version) is rejected: its
+// cells belong to a different sweep.
+func OpenJournal(dir string, opt Options) (*Journal, []RunRecord, error) {
+	if err := atomicio.ProbeDir(dir); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	path := filepath.Join(dir, journalName)
+	want := metaFor(opt)
+
+	recs, validLen, err := replayJournal(path, want)
+	if err != nil {
+		return nil, nil, err
+	}
+	if validLen >= 0 {
+		// Existing journal: drop a torn tail so the append cursor starts
+		// on a frame boundary.
+		if err := os.Truncate(path, validLen); err != nil {
+			return nil, nil, fmt.Errorf("journal: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{f: f, path: path}
+	if validLen < 0 {
+		// Fresh journal: write the magic and the meta fingerprint first,
+		// so even an immediately-killed sweep leaves a parsable file.
+		if err := j.init(want); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	return j, recs, nil
+}
+
+// Path returns the journal file's location.
+func (j *Journal) Path() string { return j.path }
+
+// init writes the magic line and the meta entry of a fresh journal.
+func (j *Journal) init(meta journalMeta) error {
+	if _, err := j.f.WriteString(journalMagic); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return j.append(journalEntry{Meta: &meta})
+}
+
+// Append journals one completed run and fsyncs it, making the cell
+// durable against a crash from this point on.
+func (j *Journal) Append(rec RunRecord) error {
+	return j.append(journalEntry{Run: &rec})
+}
+
+func (j *Journal) append(e journalEntry) error {
+	if err := faultinject.PointErr(faultinject.SiteJournalAppend); err != nil {
+		return fmt.Errorf("journal: append to %s: %w", j.path, err)
+	}
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	var frame bytes.Buffer
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	frame.Write(hdr[:])
+	frame.Write(payload)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// One Write call per frame: O_APPEND makes the frame a single
+	// contiguous region even with concurrent appenders, and the fsync
+	// pins it before Append reports the cell durable.
+	if _, err := j.f.Write(frame.Bytes()); err != nil {
+		return fmt.Errorf("journal: append to %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// maxJournalEntry bounds one entry's payload; a length prefix beyond it
+// is treated as corruption rather than allocated.
+const maxJournalEntry = 64 << 20
+
+// replayJournal scans path and returns the deduplicated run records and
+// the byte length of the valid prefix. A missing file returns
+// validLen = -1 (nothing to truncate, journal needs initialization). A
+// torn or corrupt tail ends the scan at the last intact frame — every
+// entry before it is replayed, nothing after it is trusted.
+func replayJournal(path string, want journalMeta) ([]RunRecord, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, -1, nil
+		}
+		return nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	if !bytes.HasPrefix(data, []byte(journalMagic)) {
+		return nil, 0, fmt.Errorf("journal: %s is not a runs.journal (bad magic)", path)
+	}
+	off := int64(len(journalMagic))
+	sawMeta := false
+	var order []runKeyID
+	byKey := make(map[runKeyID]RunRecord)
+	for {
+		entry, next, ok := readFrame(data, off)
+		if !ok {
+			break // torn or corrupt tail: valid prefix ends at off
+		}
+		switch {
+		case entry.Meta != nil:
+			if *entry.Meta != want {
+				return nil, 0, fmt.Errorf(
+					"journal: %s was written by %s with insts=%d sampled=%v windows=%d:%d/%d; this sweep runs %s insts=%d sampled=%v windows=%d:%d/%d — use a fresh -resume directory",
+					path, entry.Meta.Runner, entry.Meta.Insts, entry.Meta.Sampled,
+					entry.Meta.TimingWindow, entry.Meta.FunctionalWindow, entry.Meta.SegmentPeriods,
+					want.Runner, want.Insts, want.Sampled,
+					want.TimingWindow, want.FunctionalWindow, want.SegmentPeriods)
+			}
+			sawMeta = true
+		case entry.Run != nil && entry.Run.Stats != nil:
+			k := runKeyID{entry.Run.Bench, entry.Run.ConfigHash}
+			if _, seen := byKey[k]; !seen {
+				order = append(order, k)
+			}
+			byKey[k] = *entry.Run
+		}
+		off = next
+	}
+	if !sawMeta {
+		if len(byKey) > 0 {
+			return nil, 0, fmt.Errorf("journal: %s has run entries but no meta header", path)
+		}
+		// Magic written but the meta entry itself was torn off: treat as
+		// empty and re-initialize from the magic onward.
+		return nil, -1, nil
+	}
+	recs := make([]RunRecord, 0, len(order))
+	for _, k := range order {
+		recs = append(recs, byKey[k])
+	}
+	return recs, off, nil
+}
+
+// runKeyID keys journal entries the way -resume matches them: by
+// benchmark and configuration hash (the meta header already pins the
+// runner version and budget for the whole file).
+type runKeyID struct {
+	bench      string
+	configHash string
+}
+
+// readFrame decodes the frame at off. ok is false when the remaining
+// bytes do not contain one intact, checksum-clean, parsable frame.
+func readFrame(data []byte, off int64) (e journalEntry, next int64, ok bool) {
+	rest := data[off:]
+	if len(rest) < 8 {
+		return e, 0, false
+	}
+	n := int64(binary.BigEndian.Uint32(rest[0:4]))
+	sum := binary.BigEndian.Uint32(rest[4:8])
+	if n <= 0 || n > maxJournalEntry || int64(len(rest)) < 8+n {
+		return e, 0, false
+	}
+	payload := rest[8 : 8+n]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return e, 0, false
+	}
+	if err := json.Unmarshal(payload, &e); err != nil {
+		return e, 0, false
+	}
+	return e, off + 8 + n, true
+}

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mdspec/internal/config"
+	"mdspec/internal/stats"
+)
+
+// journalRecord fabricates a plausible completed-run record for journal
+// tests without paying for a simulation.
+func journalRecord(bench string, cfg config.Machine, insts int64) RunRecord {
+	res := &stats.Run{
+		Config: cfg.Name(), Workload: bench,
+		Cycles: 2 * insts, Committed: insts,
+	}
+	rec := NewRunRecord(bench, cfg, insts, 123*time.Millisecond, res)
+	rec.Attempts = 1
+	return rec
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{Insts: 1000}
+
+	j, recs, err := OpenJournal(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	want := []RunRecord{
+		journalRecord("126.gcc", nas(config.Naive), 1000),
+		journalRecord("126.gcc", nas(config.Sync), 1000),
+		journalRecord("102.swim", nas(config.Naive), 1000),
+	}
+	for _, rec := range want {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs, err := OpenJournal(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, rec := range recs {
+		if rec.Provenance != want[i].Provenance || *rec.Stats != *want[i].Stats {
+			t.Errorf("record %d differs after round trip:\ngot:  %+v\nwant: %+v", i, rec, want[i])
+		}
+	}
+}
+
+// TestJournalTornTail: a crash mid-append leaves a truncated frame; the
+// next open must replay every intact entry, drop the torn one, and
+// truncate the file so appends continue on a frame boundary.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{Insts: 1000}
+
+	j, _, err := OpenJournal(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(journalRecord("126.gcc", nas(config.Naive), 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(journalRecord("126.gcc", nas(config.Sync), 1000)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Tear the tail: chop half of the last frame off.
+	path := filepath.Join(dir, journalName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := int64(len(data)) - 40
+	if err := os.Truncate(path, torn); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs, err := OpenJournal(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Config != "NAS/NAV" {
+		t.Fatalf("after torn tail replayed %v, want just NAS/NAV", recs)
+	}
+	// The journal must stay appendable after truncation.
+	if err := j2.Append(journalRecord("102.swim", nas(config.Oracle), 1000)); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	_, recs, err = OpenJournal(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("after append-past-torn-tail replayed %d records, want 2", len(recs))
+	}
+}
+
+// TestJournalChecksumCorruption: a bit flip inside a frame's payload
+// must end the replay at the last intact frame, never parse the
+// corrupted entry.
+func TestJournalChecksumCorruption(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{Insts: 1000}
+
+	j, _, err := OpenJournal(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(journalRecord("126.gcc", nas(config.Naive), 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(journalRecord("126.gcc", nas(config.Sync), 1000)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	path := filepath.Join(dir, journalName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-20] ^= 0xFF // flip bits inside the last frame's payload
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs, err := OpenJournal(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(recs) != 1 || recs[0].Config != "NAS/NAV" {
+		t.Fatalf("after corruption replayed %v, want just the intact NAS/NAV entry", recs)
+	}
+}
+
+// TestJournalMetaMismatch: a journal written under different sweep
+// options must be rejected with a descriptive error, not silently
+// replayed into the wrong sweep.
+func TestJournalMetaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir, Options{Insts: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	_, _, err = OpenJournal(dir, Options{Insts: 2000})
+	if err == nil {
+		t.Fatal("journal with mismatched insts accepted")
+	}
+	if !strings.Contains(err.Error(), "fresh -resume directory") {
+		t.Errorf("mismatch error should tell the user what to do: %v", err)
+	}
+
+	_, _, err = OpenJournal(dir, Options{Insts: 1000, Sampled: true, TimingWindow: 500})
+	if err == nil {
+		t.Fatal("journal with mismatched sampling accepted")
+	}
+}
+
+// TestJournalDedup: if the same cell was journaled twice (e.g. two
+// crash-resume cycles that both re-ran it), the last entry wins and the
+// replay still yields one record per cell.
+func TestJournalDedup(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{Insts: 1000}
+
+	j, _, err := OpenJournal(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := journalRecord("126.gcc", nas(config.Naive), 1000)
+	if err := j.Append(first); err != nil {
+		t.Fatal(err)
+	}
+	second := first
+	second.WallSeconds = 9.9
+	if err := j.Append(second); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	_, recs, err := OpenJournal(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1 after dedup", len(recs))
+	}
+	if recs[0].WallSeconds != 9.9 {
+		t.Errorf("dedup kept WallSeconds %v, want the last entry (9.9)", recs[0].WallSeconds)
+	}
+}
+
+// TestJournalRejectsForeignFile: pointing -resume at a directory whose
+// runs.journal is not a journal must fail loudly.
+func TestJournalRejectsForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, journalName)
+	if err := os.WriteFile(path, []byte(`{"not":"a journal"}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := OpenJournal(dir, Options{Insts: 1000})
+	if err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("foreign file accepted or wrong error: %v", err)
+	}
+}

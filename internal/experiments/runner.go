@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,8 +26,10 @@ import (
 	"mdspec/internal/config"
 	"mdspec/internal/core"
 	"mdspec/internal/emu"
+	"mdspec/internal/faultinject"
 	"mdspec/internal/parsim"
 	"mdspec/internal/prog"
+	"mdspec/internal/retry"
 	"mdspec/internal/stats"
 	"mdspec/internal/workload"
 )
@@ -57,6 +60,18 @@ type Options struct {
 	// periods (default parsim.DefaultSegmentPeriods). It fixes the
 	// decomposition, so results are independent of Parallel.
 	SegmentPeriods int
+	// Retry bounds how often a cell whose simulation fails transiently
+	// (worker panic, watchdog deadlock report) is re-attempted before
+	// the sweep degrades. The zero value selects retry.Default; the
+	// budget is counted in attempts, and the backoff schedule is a pure
+	// function of the attempt number.
+	Retry retry.Policy
+	// Journal, when set, is the sweep's crash-safe checkpoint store:
+	// every completed run is appended (and fsynced) as it finishes, and
+	// cells primed from a replayed journal are served from the memo
+	// cache without re-simulation. Open one with OpenJournal and seed
+	// the runner with Prime.
+	Journal *Journal
 	// Hooks receives progress callbacks (all fields optional).
 	Hooks Hooks
 }
@@ -108,6 +123,10 @@ type Hooks struct {
 	// CacheHit fires when a Run call is satisfied from the memo cache or
 	// joins an in-flight duplicate simulation.
 	CacheHit func(bench, cfg string)
+	// JobRetried fires when a transiently-failed simulation is about to
+	// be re-attempted; attempt is the 1-based attempt that just failed
+	// with err.
+	JobRetried func(bench, cfg string, attempt int, err error)
 }
 
 // Counters is a snapshot of a Runner's lifetime metrics.
@@ -115,8 +134,12 @@ type Counters struct {
 	JobsStarted  int64 `json:"jobs_started"`
 	JobsFinished int64 `json:"jobs_finished"`
 	JobsFailed   int64 `json:"jobs_failed"`
+	JobsRetried  int64 `json:"jobs_retried"`
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
+	// Replayed counts cells served from a resumed journal instead of
+	// being re-simulated.
+	Replayed int64 `json:"replayed"`
 	// SimSeconds is the summed wall time of all finished simulations
 	// (CPU-parallel, so it exceeds elapsed time on multicore sweeps).
 	SimSeconds float64 `json:"sim_seconds"`
@@ -128,18 +151,24 @@ type Counters struct {
 type Runner struct {
 	opt Options
 
-	mu       sync.Mutex
-	progs    map[string]*prog.Program
-	recs     map[string]*emu.Recording
-	cache    map[runKey]*stats.Run
-	inflight map[runKey]*call
-	records  []RunRecord
+	mu         sync.Mutex
+	progs      map[string]*prog.Program
+	recs       map[string]*emu.Recording
+	cache      map[runKey]*stats.Run
+	inflight   map[runKey]*call
+	records    []RunRecord
+	primed     map[runKeyID]RunRecord
+	abandoned  []AbandonedCell
+	abandonSet map[runKeyID]bool
+	journalErr error
 
 	jobsStarted  atomic.Int64
 	jobsFinished atomic.Int64
 	jobsFailed   atomic.Int64
+	jobsRetried  atomic.Int64
 	cacheHits    atomic.Int64
 	cacheMisses  atomic.Int64
+	replayed     atomic.Int64
 	simNanos     atomic.Int64
 
 	// sem is the runner's parallelism budget, shared between sweep jobs
@@ -151,8 +180,15 @@ type Runner struct {
 
 	// sim is the simulation implementation; tests substitute stubs to
 	// exercise singleflight, cancellation and error aggregation without
-	// paying for real simulations.
-	sim func(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, error)
+	// paying for real simulations. simSerial is the graceful-degradation
+	// backend: the serial sampled run a cell falls back to when the
+	// interval-parallel engine keeps failing transiently.
+	sim       func(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, error)
+	simSerial func(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, error)
+
+	// sleep waits out a retry backoff (tests substitute an instant
+	// stub); the schedule itself is deterministic, see internal/retry.
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 type runKey struct {
@@ -173,14 +209,30 @@ func NewRunner(opt Options) *Runner {
 		opt.Insts = DefaultOptions().Insts
 	}
 	r := &Runner{
-		opt:      opt,
-		progs:    make(map[string]*prog.Program),
-		recs:     make(map[string]*emu.Recording),
-		cache:    make(map[runKey]*stats.Run),
-		inflight: make(map[runKey]*call),
-		sem:      parsim.NewSem(opt.parallel()),
+		opt:        opt,
+		progs:      make(map[string]*prog.Program),
+		recs:       make(map[string]*emu.Recording),
+		cache:      make(map[runKey]*stats.Run),
+		inflight:   make(map[runKey]*call),
+		primed:     make(map[runKeyID]RunRecord),
+		abandonSet: make(map[runKeyID]bool),
+		sem:        parsim.NewSem(opt.parallel()),
 	}
 	r.sim = r.simulate
+	r.simSerial = r.simulateSerialSampled
+	r.sleep = func(ctx context.Context, d time.Duration) error {
+		if d <= 0 {
+			return ctx.Err()
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
 	return r
 }
 
@@ -193,10 +245,50 @@ func (r *Runner) Counters() Counters {
 		JobsStarted:  r.jobsStarted.Load(),
 		JobsFinished: r.jobsFinished.Load(),
 		JobsFailed:   r.jobsFailed.Load(),
+		JobsRetried:  r.jobsRetried.Load(),
 		CacheHits:    r.cacheHits.Load(),
 		CacheMisses:  r.cacheMisses.Load(),
+		Replayed:     r.replayed.Load(),
 		SimSeconds:   time.Duration(r.simNanos.Load()).Seconds(),
 	}
+}
+
+// Abandoned returns a copy of the cells this runner gave up on after
+// exhausting retries (and, for sampled cells, the serial fallback).
+// They are the partial-results envelope's "what is missing" list.
+func (r *Runner) Abandoned() []AbandonedCell {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]AbandonedCell(nil), r.abandoned...)
+}
+
+// JournalErr reports the first journal-append failure, if any. A
+// failing journal degrades the sweep's resumability, never the sweep
+// itself, so the error is surfaced here instead of failing Run.
+func (r *Runner) JournalErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.journalErr
+}
+
+// Prime seeds the memo cache with runs replayed from a journal: a
+// primed cell is served without re-simulation, appears in Records (with
+// its original provenance), and is not re-journaled. Entries from a
+// different runner version or instruction budget are skipped — they
+// belong to a sweep whose cells are not this sweep's cells. Returns how
+// many records were accepted.
+func (r *Runner) Prime(recs []RunRecord) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, rec := range recs {
+		if rec.Runner != RunnerVersion || rec.Insts != r.opt.Insts || rec.Stats == nil {
+			continue
+		}
+		r.primed[runKeyID{rec.Bench, rec.ConfigHash}] = rec
+		n++
+	}
+	return n
 }
 
 // Records returns a copy of the provenance records of every simulation
@@ -276,6 +368,116 @@ func (r *Runner) simulate(ctx context.Context, bench string, cfg config.Machine)
 	return res, nil
 }
 
+// simulateSerialSampled is the graceful-degradation backend for sampled
+// cells: one serial sampled pass on a private pipeline, touching none
+// of the interval-parallel machinery that kept failing. Slower and
+// warmed slightly differently than the segmented run (the paper's
+// serial methodology), but it lets the sweep finish the cell instead of
+// abandoning it.
+func (r *Runner) simulateSerialSampled(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rec, err := r.recording(bench)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := core.New(cfg, rec.NewReplay())
+	if err != nil {
+		return nil, err
+	}
+	res, err := pl.RunSampled(r.opt.Insts, r.opt.timingWindow(), r.opt.functionalWindow())
+	if err != nil {
+		return nil, err
+	}
+	res.Workload = bench
+	return res, nil
+}
+
+// RunPanicError is a panic during one cell's simulation, converted into
+// an error carrying the job's identity and the panicking goroutine's
+// stack. It is classified as transient: the next attempt gets a fresh
+// Pipeline over the shared recording.
+type RunPanicError struct {
+	Bench  string
+	Config string
+	Value  any
+	Stack  []byte
+}
+
+func (e *RunPanicError) Error() string {
+	return fmt.Sprintf("panic simulating %s under %s: %v\n%s", e.Bench, e.Config, e.Value, e.Stack)
+}
+
+// transientError classifies failures worth retrying: a recovered panic
+// (job- or segment-level) or a watchdog deadlock report. Context
+// cancellation and plain errors (unknown benchmark, invalid config) are
+// permanent.
+func transientError(err error) bool {
+	var jobPanic *RunPanicError
+	var segPanic *parsim.PanicError
+	var deadlock *core.DeadlockError
+	return errors.As(err, &jobPanic) || errors.As(err, &segPanic) || errors.As(err, &deadlock)
+}
+
+// runProtected is one simulation attempt with panic isolation: a panic
+// anywhere below (a worker bug, an injected fault) becomes a typed
+// *RunPanicError instead of crashing the sweep and losing every other
+// cell's work.
+func (r *Runner) runProtected(ctx context.Context, bench string, cfg config.Machine, cfgName string, sim func(context.Context, string, config.Machine) (*stats.Run, error)) (res *stats.Run, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res = nil
+			err = &RunPanicError{Bench: bench, Config: cfgName, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	// No-op unless built with -tags mdfault; see internal/faultinject.
+	faultinject.Point(faultinject.SiteRunnerJob)
+	return sim(ctx, bench, cfg)
+}
+
+// runWithRecovery drives one cell to a result, an exhausted-retries
+// failure, or a degraded success: transient failures are re-attempted
+// up to the retry policy's budget (with its deterministic capped
+// exponential backoff between attempts), and a sampled cell whose
+// interval-parallel runs keep failing falls back to one serial sampled
+// pass. It returns the attempts consumed and the fallback marker for
+// the cell's provenance record.
+func (r *Runner) runWithRecovery(ctx context.Context, bench string, cfg config.Machine, cfgName string) (res *stats.Run, attempts int, fallback string, err error) {
+	pol := r.opt.Retry.WithDefaults()
+	for {
+		attempts++
+		res, err = r.runProtected(ctx, bench, cfg, cfgName, r.sim)
+		if err == nil || !transientError(err) {
+			return res, attempts, "", err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			// Canceled mid-attempt: the cell is unfinished, not abandoned —
+			// report the cancellation, not the attempt's transient failure.
+			return nil, attempts, "", cerr
+		}
+		if attempts >= pol.MaxAttempts {
+			break
+		}
+		r.jobsRetried.Add(1)
+		if r.opt.Hooks.JobRetried != nil {
+			r.opt.Hooks.JobRetried(bench, cfgName, attempts, err)
+		}
+		if werr := r.sleep(ctx, pol.Backoff(attempts)); werr != nil {
+			return nil, attempts, "", werr
+		}
+	}
+	if r.opt.Sampled && !cfg.SplitWindow {
+		attempts++
+		fres, ferr := r.runProtected(ctx, bench, cfg, cfgName, r.simSerial)
+		if ferr == nil {
+			return fres, attempts, FallbackSerialSampled, nil
+		}
+		err = fmt.Errorf("%w (serial fallback also failed: %v)", err, ferr)
+	}
+	return nil, attempts, "", err
+}
+
 // Run simulates bench under cfg. Results are memoized, and concurrent
 // calls for the same (bench, cfg) pair share a single simulation
 // (singleflight). A canceled context aborts before starting new work;
@@ -299,6 +501,24 @@ func (r *Runner) Run(ctx context.Context, bench string, cfg config.Machine) (*st
 			r.opt.Hooks.CacheHit(bench, cfgName)
 		}
 		return res, nil
+	}
+	if len(r.primed) > 0 {
+		// A cell replayed from a resumed journal: promote it into the
+		// memo cache and the provenance records, skipping the simulation
+		// entirely (its stats are bit-identical to re-running by the
+		// determinism contract).
+		if rec, ok := r.primed[runKeyID{bench, cfg.Hash()}]; ok {
+			delete(r.primed, runKeyID{bench, cfg.Hash()})
+			res := rec.Stats
+			r.cache[key] = res
+			r.records = append(r.records, rec)
+			r.mu.Unlock()
+			r.replayed.Add(1)
+			if r.opt.Hooks.CacheHit != nil {
+				r.opt.Hooks.CacheHit(bench, cfgName)
+			}
+			return res, nil
+		}
 	}
 	if c, ok := r.inflight[key]; ok {
 		r.mu.Unlock()
@@ -326,7 +546,7 @@ func (r *Runner) Run(ctx context.Context, bench string, cfg config.Machine) (*st
 		r.opt.Hooks.JobStarted(bench, cfgName)
 	}
 	start := time.Now()
-	res, err := r.sim(ctx, bench, cfg)
+	res, attempts, fallback, err := r.runWithRecovery(ctx, bench, cfg, cfgName)
 	wall := time.Since(start)
 	if err != nil {
 		err = fmt.Errorf("%s under %s: %w", bench, cfgName, err)
@@ -340,13 +560,43 @@ func (r *Runner) Run(ctx context.Context, bench string, cfg config.Machine) (*st
 		r.opt.Hooks.JobFinished(bench, cfgName, wall, err)
 	}
 
+	var rec RunRecord
 	r.mu.Lock()
 	delete(r.inflight, key)
 	if err == nil {
+		rec = NewRunRecord(bench, cfg, r.opt.Insts, wall, res)
+		rec.Attempts = attempts
+		rec.Fallback = fallback
 		r.cache[key] = res
-		r.records = append(r.records, NewRunRecord(bench, cfg, r.opt.Insts, wall, res))
+		r.records = append(r.records, rec)
+	} else if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		// The cell is abandoned (retries and any fallback exhausted, or
+		// a permanent failure): name it so the partial-results envelope
+		// can report exactly what is missing. Errors are not cached, so
+		// a later Run of the same cell may retry it; keep one entry.
+		id := runKeyID{bench, cfg.Hash()}
+		if !r.abandonSet[id] {
+			r.abandonSet[id] = true
+			r.abandoned = append(r.abandoned, AbandonedCell{
+				Bench: bench, Config: cfgName, ConfigHash: id.configHash,
+				Attempts: attempts, Error: err.Error(),
+			})
+		}
 	}
+	journal := r.opt.Journal
 	r.mu.Unlock()
+
+	if err == nil && journal != nil {
+		// Make the finished cell durable before reporting it; a journal
+		// failure costs resumability, not the sweep (see JournalErr).
+		if jerr := journal.Append(rec); jerr != nil {
+			r.mu.Lock()
+			if r.journalErr == nil {
+				r.journalErr = jerr
+			}
+			r.mu.Unlock()
+		}
+	}
 
 	c.res, c.err = res, err
 	close(c.done)

@@ -1,0 +1,26 @@
+//go:build !mdfault
+
+package faultinject
+
+// Enabled reports whether the build carries the mdfault tag. It is a
+// constant so call-site guards and the hooks below compile away
+// entirely in default builds.
+const Enabled = false
+
+// Arm is rejected without the mdfault tag: a test that arms plans in a
+// build where the hooks are compiled out would silently prove nothing.
+func Arm(plans ...Plan) {
+	panic("faultinject: Arm called without -tags mdfault")
+}
+
+// Disarm is a no-op without the mdfault tag.
+func Disarm() {}
+
+// Point is an inlined no-op without the mdfault tag.
+func Point(site string) {}
+
+// PointErr is an inlined no-op without the mdfault tag.
+func PointErr(site string) error { return nil }
+
+// Hits always reports zero without the mdfault tag.
+func Hits(site string) int64 { return 0 }

@@ -1,0 +1,85 @@
+//go:build mdfault
+
+package faultinject
+
+import "sync"
+
+// Enabled reports whether the build carries the mdfault tag.
+const Enabled = true
+
+var (
+	mu     sync.Mutex
+	armed  []Plan
+	counts map[string]int64
+)
+
+// Arm replaces the armed plans and resets every site's hit counter.
+// Passing no plans leaves the harness counting passages (Hits) without
+// injecting anything.
+func Arm(plans ...Plan) {
+	mu.Lock()
+	defer mu.Unlock()
+	armed = append([]Plan(nil), plans...)
+	counts = make(map[string]int64)
+}
+
+// Disarm removes every plan and stops counting.
+func Disarm() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed = nil
+	counts = nil
+}
+
+// Hits returns how many times site has been passed since Arm.
+func Hits(site string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	return counts[site]
+}
+
+// hit advances site's counter and returns the plan that fires on this
+// passage, if any.
+func hit(site string) (Plan, int64, bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	if counts == nil {
+		return Plan{}, 0, false
+	}
+	counts[site]++
+	n := counts[site]
+	for _, p := range armed {
+		if p.Site != site {
+			continue
+		}
+		if n == p.N || (p.Repeat && n >= p.N) {
+			return p, n, true
+		}
+	}
+	return Plan{}, n, false
+}
+
+// Point passes an injection site with no error path: a panic-kind plan
+// that fires here panics with an *InjectedPanic; error-kind plans are
+// ignored.
+func Point(site string) {
+	if p, n, ok := hit(site); ok && p.Kind == KindPanic {
+		panic(&InjectedPanic{Site: site, Hit: n})
+	}
+}
+
+// PointErr passes an injection site with an error path: an error-kind
+// plan that fires here returns an *InjectedError; a panic-kind plan
+// panics.
+func PointErr(site string) error {
+	p, n, ok := hit(site)
+	if !ok {
+		return nil
+	}
+	switch p.Kind {
+	case KindPanic:
+		panic(&InjectedPanic{Site: site, Hit: n})
+	default:
+		return &InjectedError{Site: site, Hit: n}
+	}
+}

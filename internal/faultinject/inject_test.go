@@ -1,0 +1,73 @@
+//go:build mdfault
+
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPointErrFiresAtNth(t *testing.T) {
+	Arm(Plan{Site: SiteAtomicWrite, N: 3, Kind: KindError})
+	defer Disarm()
+	for i := 1; i <= 5; i++ {
+		err := PointErr(SiteAtomicWrite)
+		if i == 3 {
+			var inj *InjectedError
+			if !errors.As(err, &inj) || inj.Site != SiteAtomicWrite || inj.Hit != 3 {
+				t.Fatalf("hit %d: err = %v, want injected error at hit 3", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("hit %d: unexpected injected error %v", i, err)
+		}
+	}
+	if Hits(SiteAtomicWrite) != 5 {
+		t.Errorf("hits = %d, want 5", Hits(SiteAtomicWrite))
+	}
+}
+
+func TestPointPanicsAtNthAndRepeat(t *testing.T) {
+	Arm(Plan{Site: SiteParsimSegment, N: 2, Kind: KindPanic, Repeat: true})
+	defer Disarm()
+	mustPanic := func(want bool) {
+		t.Helper()
+		defer func() {
+			v := recover()
+			if want {
+				if _, ok := v.(*InjectedPanic); !ok {
+					t.Fatalf("recover = %v, want *InjectedPanic", v)
+				}
+			} else if v != nil {
+				t.Fatalf("unexpected panic %v", v)
+			}
+		}()
+		Point(SiteParsimSegment)
+	}
+	mustPanic(false)
+	mustPanic(true) // 2nd passage fires
+	mustPanic(true) // Repeat: every later passage fires too
+}
+
+func TestDisarmStopsInjection(t *testing.T) {
+	Arm(Plan{Site: SiteRunnerJob, N: 1, Kind: KindError})
+	Disarm()
+	if err := PointErr(SiteRunnerJob); err != nil {
+		t.Fatalf("disarmed PointErr = %v, want nil", err)
+	}
+	if Hits(SiteRunnerJob) != 0 {
+		t.Errorf("disarmed harness still counts hits")
+	}
+}
+
+func TestErrorPlanIgnoredByPoint(t *testing.T) {
+	Arm(Plan{Site: SiteRunnerJob, N: 1, Kind: KindError})
+	defer Disarm()
+	defer func() {
+		if v := recover(); v != nil {
+			t.Fatalf("Point fired an error-kind plan as a panic: %v", v)
+		}
+	}()
+	Point(SiteRunnerJob) // no error path here; must not fire
+}

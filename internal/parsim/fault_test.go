@@ -1,0 +1,54 @@
+//go:build mdfault
+
+package parsim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"mdspec/internal/config"
+	"mdspec/internal/faultinject"
+)
+
+// TestInjectedSegmentPanic proves the seeded panic-at-Nth-segment
+// injection point fires inside the worker's recovery scope: the fault
+// surfaces as a *PanicError wrapping the injected value, the merged
+// stats are withheld, and a re-run after the one-shot plan has fired is
+// bit-identical to an uninterrupted reference run.
+func TestInjectedSegmentPanic(t *testing.T) {
+	rec := recordingOf(t, "129.compress")
+	cfg := config.Default128().WithPolicy(config.Sync)
+	opt := Options{TotalTiming: 12_000, TimingInsts: 2_000, FunctionalInsts: 4_000, SegmentPeriods: 1, Workers: 4}
+
+	ref, err := Run(bg, cfg, rec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Arm(faultinject.Plan{
+		Site: faultinject.SiteParsimSegment, N: 3, Kind: faultinject.KindPanic,
+	})
+	defer faultinject.Disarm()
+
+	res, err := Run(bg, cfg, rec, opt)
+	if res != nil {
+		t.Fatal("poisoned run returned merged stats")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if _, ok := pe.Value.(*faultinject.InjectedPanic); !ok {
+		t.Errorf("PanicError.Value = %T, want *faultinject.InjectedPanic", pe.Value)
+	}
+
+	// Plan fired once; the retry is clean and must match the reference.
+	again, err := Run(bg, cfg, rec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*ref, *again) {
+		t.Errorf("retry after injected panic differs from reference:\nref:   %+v\nagain: %+v", *ref, *again)
+	}
+}

@@ -30,12 +30,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"mdspec/internal/config"
 	"mdspec/internal/core"
 	"mdspec/internal/emu"
+	"mdspec/internal/faultinject"
 	"mdspec/internal/stats"
 )
 
@@ -145,6 +147,29 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// PanicError is a panic in one segment worker, converted into an error
+// carrying the segment's identity and the panicking goroutine's stack.
+// The fault stays isolated: the poisoned segment's result slot holds
+// this error instead of statistics, so it can never reach the merged
+// Run, and the other workers finish their segments normally. The
+// robustness layer above (experiments.Runner) treats it as transient
+// and retries the whole cell.
+type PanicError struct {
+	Segment    int   // segment index in stream order
+	Start, End int64 // stream bounds [Start, End)
+	Value      any   // the recovered panic value
+	Stack      []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parsim: panic in segment %d [%d, %d): %v\n%s",
+		e.Segment, e.Start, e.End, e.Value, e.Stack)
+}
+
+// testSegmentHook, when set (tests only), runs at the start of every
+// segment simulation on the claiming worker's goroutine.
+var testSegmentHook func(seg int)
+
 // segment is one contiguous stream region [start, end) assigned to a
 // worker.
 type segment struct {
@@ -200,7 +225,7 @@ func Run(ctx context.Context, cfg config.Machine, rec *emu.Recording, opt Option
 				errs[i] = err
 				continue
 			}
-			results[i], errs[i] = runSegment(cfg, rec, segs[i], opt)
+			results[i], errs[i] = runSegment(ctx, cfg, rec, i, segs[i], opt)
 		}
 	}
 
@@ -242,8 +267,26 @@ func Run(ctx context.Context, cfg config.Machine, rec *emu.Recording, opt Option
 }
 
 // runSegment simulates one segment on a private pipeline over a fresh
-// replay cursor of the shared recording.
-func runSegment(cfg config.Machine, rec *emu.Recording, s segment, opt Options) (*stats.Run, error) {
+// replay cursor of the shared recording. A panic anywhere in the
+// segment's simulation is recovered into a *PanicError naming the
+// segment, so one poisoned segment fails its own result slot instead of
+// killing the worker pool (and with it the whole sweep).
+func runSegment(ctx context.Context, cfg config.Machine, rec *emu.Recording, i int, s segment, opt Options) (res *stats.Run, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res = nil
+			err = &PanicError{Segment: i, Start: s.start, End: s.end, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	// No-ops unless armed: the fault-injection passage (mdfault builds)
+	// and the test-only segment hook.
+	faultinject.Point(faultinject.SiteParsimSegment)
+	if testSegmentHook != nil {
+		testSegmentHook(i)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err // canceled while this worker held the segment
+	}
 	pl, err := core.New(cfg, rec.NewReplay())
 	if err != nil {
 		return nil, err

@@ -1,0 +1,105 @@
+package parsim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mdspec/internal/config"
+)
+
+// TestSegmentPanicIsolated: a panic inside one segment worker must
+// surface as a typed *PanicError naming that segment — not kill the
+// process, and not leak a partial segment into a merged result — and
+// the recording must stay reusable: a clean re-run afterwards produces
+// exactly the reference statistics.
+func TestSegmentPanicIsolated(t *testing.T) {
+	rec := recordingOf(t, "129.compress")
+	cfg := config.Default128().WithPolicy(config.Sync)
+	opt := Options{TotalTiming: 12_000, TimingInsts: 2_000, FunctionalInsts: 4_000, SegmentPeriods: 1, Workers: 4}
+
+	ref, err := Run(bg, cfg, rec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const poisoned = 2
+	testSegmentHook = func(seg int) {
+		if seg == poisoned {
+			panic("poisoned segment")
+		}
+	}
+	defer func() { testSegmentHook = nil }()
+
+	res, err := Run(bg, cfg, rec, opt)
+	if res != nil {
+		t.Fatal("poisoned run returned a merged result; partial stats must be discarded")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Segment != poisoned || pe.Value != "poisoned segment" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError = segment %d value %v stack %d bytes, want segment %d with stack",
+			pe.Segment, pe.Value, len(pe.Stack), poisoned)
+	}
+
+	testSegmentHook = nil
+	again, err := Run(bg, cfg, rec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*ref, *again) {
+		t.Errorf("run after a poisoned run differs from the reference:\nref:   %+v\nagain: %+v", *ref, *again)
+	}
+}
+
+// TestCancelMidFlight cancels the context from inside a segment worker
+// while the other workers are mid-warm-up. Run must return the context
+// error with no merged result, every shared-semaphore token must be
+// back (drained-semaphore check), and no worker goroutine may outlive
+// the call.
+func TestCancelMidFlight(t *testing.T) {
+	rec := recordingOf(t, "102.swim")
+	cfg := config.Default128().WithPolicy(config.Naive)
+	sem := NewSem(3)
+	opt := Options{
+		TotalTiming: 24_000, TimingInsts: 2_000, FunctionalInsts: 4_000,
+		SegmentPeriods: 1, Workers: 4, Sem: sem,
+	}
+
+	ctx, cancel := context.WithCancel(bg)
+	defer cancel()
+	var claims atomic.Int64
+	testSegmentHook = func(seg int) {
+		if claims.Add(1) == 3 { // third claim: the other workers are inside segments
+			cancel()
+		}
+	}
+	defer func() { testSegmentHook = nil }()
+
+	before := runtime.NumGoroutine()
+	res, err := Run(ctx, cfg, rec, opt)
+	if res != nil {
+		t.Fatal("canceled run returned a merged result; partial stats must be discarded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := len(sem); n != 0 {
+		t.Errorf("shared semaphore holds %d leaked tokens after cancellation", n)
+	}
+	// Worker goroutines are joined before Run returns; give the runtime
+	// a moment to reap exited goroutines before comparing.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked across a canceled Run: %d before, %d after", before, after)
+	}
+}

@@ -1,0 +1,67 @@
+package retry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWithDefaults(t *testing.T) {
+	p := Policy{}.WithDefaults()
+	if p != Default {
+		t.Errorf("zero policy = %+v, want Default %+v", p, Default)
+	}
+	p = Policy{MaxAttempts: -1}.WithDefaults()
+	if p.MaxAttempts != 1 {
+		t.Errorf("negative attempts clamp = %d, want 1", p.MaxAttempts)
+	}
+	p = Policy{MaxAttempts: 7, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}.WithDefaults()
+	if p.MaxAttempts != 7 || p.BaseDelay != time.Millisecond || p.MaxDelay != 4*time.Millisecond {
+		t.Errorf("explicit fields overwritten: %+v", p)
+	}
+}
+
+func TestBackoffIsCappedExponential(t *testing.T) {
+	p := Policy{MaxAttempts: 10, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
+	want := []time.Duration{
+		0,                     // attempt 0: invalid
+		10 * time.Millisecond, // attempt 1
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+	}
+	for attempt, w := range want {
+		if got := p.Backoff(attempt); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+func TestBackoffOverflowSafe(t *testing.T) {
+	p := Policy{BaseDelay: time.Hour, MaxDelay: 2 * time.Hour}
+	for attempt := 1; attempt < 200; attempt++ {
+		if got := p.Backoff(attempt); got < 0 || got > 2*time.Hour {
+			t.Fatalf("Backoff(%d) = %v, want within (0, 2h]", attempt, got)
+		}
+	}
+}
+
+func TestBackoffDisabled(t *testing.T) {
+	p := Policy{BaseDelay: -1}
+	if got := p.Backoff(3); got != 0 {
+		t.Errorf("disabled backoff = %v, want 0", got)
+	}
+}
+
+// TestBackoffDeterministic pins the schedule: the same policy and
+// attempt always yield the same delay (the retry budget is counted in
+// attempts, never in elapsed time).
+func TestBackoffDeterministic(t *testing.T) {
+	p := Policy{}
+	for attempt := 1; attempt <= 8; attempt++ {
+		a, b := p.Backoff(attempt), p.Backoff(attempt)
+		if a != b {
+			t.Fatalf("Backoff(%d) nondeterministic: %v vs %v", attempt, a, b)
+		}
+	}
+}
