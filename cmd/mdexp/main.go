@@ -3,7 +3,7 @@
 // Usage:
 //
 //	mdexp [-n insts] [-bench list] [-par N] [-sampled T:F] [-json|-csv]
-//	      [-out file] [-resume dir] [-retries N] [-quiet]
+//	      [-out file] [-resume dir] [-server addr] [-retries N] [-quiet]
 //	      [-cpuprofile file] [-memprofile file] [-trace file]
 //	      <experiment>...
 //
@@ -36,6 +36,15 @@
 // back to one serial sampled pass, and a cell that cannot be completed
 // at all is listed in the artifact's partial-results envelope instead
 // of aborting the sweep. See README.md ("Robustness & operations").
+//
+// With -server <addr>, simulations are requested from a running
+// mdserve daemon instead of executing locally: the daemon's
+// content-addressed cache dedups cells across every connected client,
+// and by the determinism contract the results are bit-identical to a
+// local run. The daemon's provenance tuple (-n, -sampled) must match
+// this invocation's; mdexp verifies that up front and fails fast with
+// a descriptive message otherwise. -par then bounds concurrent
+// requests, and -resume is refused — the daemon owns persistence.
 package main
 
 import (
@@ -55,6 +64,7 @@ import (
 	"mdspec/internal/experiments"
 	"mdspec/internal/profiling"
 	"mdspec/internal/retry"
+	"mdspec/internal/server"
 	"mdspec/internal/workload"
 )
 
@@ -126,6 +136,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	sampled := flag.String("sampled", "", "sampled simulation with windows T:F instructions (e.g. 5000:10000); -n becomes the total timing budget")
 	resumeDir := flag.String("resume", "", "checkpoint directory: journal finished cells there and replay them on restart")
+	serverAddr := flag.String("server", "", "mdserve daemon address: request simulations from it instead of running locally")
 	retries := flag.Int("retries", 0, "attempts per cell before a transient failure abandons it (default 3)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mdexp [flags] <experiment>...\nexperiments: %s all\n",
@@ -202,6 +213,9 @@ func main() {
 		progress = experiments.NewProgress(os.Stderr)
 		opt.Hooks = progress.Hooks()
 	}
+	if *serverAddr != "" && *resumeDir != "" {
+		fatal(errors.New("-server and -resume are mutually exclusive: the daemon owns the checkpoint journal"))
+	}
 	var replayed []experiments.RunRecord
 	if *resumeDir != "" {
 		j, recs, err := experiments.OpenJournal(*resumeDir, opt)
@@ -224,6 +238,19 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *serverAddr != "" {
+		// Mount the daemon as this runner's backend: every cell request
+		// goes over HTTP, everything else — memoization, hooks, artifact
+		// records — is unchanged. Check the provenance tuple first so a
+		// mismatched sweep fails here, not on its first cell.
+		cl := server.NewClient(*serverAddr, opt)
+		if err := cl.Check(ctx); err != nil {
+			fatal(err)
+		}
+		runner.UseBackend(cl.Run)
+		fmt.Fprintf(os.Stderr, "mdexp: simulating via mdserve at %s\n", *serverAddr)
+	}
 
 	var runErrs []error
 	canceled := false

@@ -1,0 +1,145 @@
+// Command mdserve runs the simulator as a long-lived service.
+//
+// Usage:
+//
+//	mdserve [-addr host:port] [-n insts] [-sampled T:F] [-par N]
+//	        [-workers N] [-queue N] [-journal dir] [-retries N]
+//	        [-drain d] [-quiet]
+//
+// The daemon accepts (benchmark, configuration) cell requests as JSON
+// (POST /v1/runs) and whole sweeps as a cross product (POST
+// /v1/sweeps, streamed back as NDJSON or SSE), and answers from a
+// content-addressed cache keyed on the provenance tuple — config
+// hash, benchmark, instruction budget, sampling windows, runner
+// version. Identical cells requested by any number of concurrent
+// clients cost one simulation; a bounded work queue refuses overload
+// with 503 instead of queueing without limit.
+//
+// With -journal, every finished cell is checkpointed to
+// <dir>/runs.journal and a restarted daemon re-primes its cache from
+// it, so previously-computed cells are served without re-simulating
+// across restarts. GET /v1/metrics exposes the runner's lifetime
+// counters, per-endpoint request/latency accounting, and queue
+// occupancy; GET /v1/options the provenance tuple (clients check it
+// before sweeping — see mdexp -server).
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: the listener closes,
+// in-flight requests drain (bounded by -drain), queued cells finish
+// and reach the journal, and only then does the process exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mdspec/internal/experiments"
+	"mdspec/internal/retry"
+	"mdspec/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8377", "listen address")
+	insts := flag.Int64("n", 150_000, "committed instructions per (benchmark, config) run")
+	sampled := flag.String("sampled", "", "sampled simulation with windows T:F instructions; -n becomes the total timing budget")
+	par := flag.Int("par", 0, "max concurrent simulations (default: GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "scheduler worker pool size (default: -par)")
+	queue := flag.Int("queue", server.DefaultQueueDepth, "bounded work-queue depth; beyond it requests get 503")
+	journalDir := flag.String("journal", "", "checkpoint directory: journal finished cells and re-prime the cache from it on restart")
+	retries := flag.Int("retries", 0, "attempts per cell before a transient failure abandons it (default 3)")
+	drain := flag.Duration("drain", time.Minute, "maximum time to wait for in-flight requests on shutdown")
+	quiet := flag.Bool("quiet", false, "suppress per-request lifecycle logging")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "mdserve: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "mdserve: ", log.LstdFlags)
+
+	opt := experiments.Options{Insts: *insts, Parallel: *par, Retry: retry.Policy{MaxAttempts: *retries}}
+	if *sampled != "" {
+		var tw, fw int64
+		if _, err := fmt.Sscanf(*sampled, "%d:%d", &tw, &fw); err != nil {
+			fatal(fmt.Errorf("bad -sampled %q (want T:F): %v", *sampled, err))
+		}
+		opt.Sampled = true
+		opt.TimingWindow, opt.FunctionalWindow = tw, fw
+	}
+
+	// The journal persists the cache across restarts. It must be opened
+	// with the final options: its meta header is the provenance
+	// fingerprint, so a dir journaled under different options is
+	// detected and refused rather than silently serving foreign cells.
+	var journal *experiments.Journal
+	var replayed []experiments.RunRecord
+	if *journalDir != "" {
+		j, recs, err := experiments.OpenJournal(*journalDir, opt)
+		if err != nil {
+			fatal(err)
+		}
+		journal = j
+		opt.Journal = j
+		replayed = recs
+	}
+
+	cfg := server.Config{Options: opt, Workers: *workers, QueueDepth: *queue}
+	if !*quiet {
+		cfg.Log = logger
+	}
+	srv := server.New(cfg)
+	if n := srv.Runner().Prime(replayed); n > 0 {
+		logger.Printf("re-primed %d finished cell(s) from %s", n, *journalDir)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	logger.Printf("serving %s on http://%s (workers=%d queue=%d)",
+		opt.Fingerprint().Runner, ln.Addr(), srv.Workers(), *queue)
+
+	httpSrv := &http.Server{Handler: srv, ErrorLog: logger}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		logger.Printf("signal received; draining (limit %s)", *drain)
+		shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		shutdownErr <- httpSrv.Shutdown(shCtx)
+	}()
+
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+	// Shutdown ordering matters: first the HTTP server stops accepting
+	// and drains handlers (the queue's only submitters), then the
+	// scheduler finishes queued cells — journaling each — and only then
+	// does the journal close with a complete tail.
+	if err := <-shutdownErr; err != nil {
+		logger.Printf("drain limit exceeded, abandoning open connections: %v", err)
+	}
+	srv.Close()
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			logger.Printf("closing journal: %v", err)
+		}
+	}
+	c := srv.Runner().Counters()
+	logger.Printf("shut down cleanly: %d simulated, %d cache/dedup hits, %d replayed",
+		c.JobsFinished, c.CacheHits, c.Replayed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdserve:", err)
+	os.Exit(1)
+}

@@ -63,11 +63,17 @@ type AbandonedCell struct {
 
 // NewRunRecord assembles a provenance-carrying record for one run.
 func NewRunRecord(bench string, cfg config.Machine, insts int64, wall time.Duration, res *stats.Run) RunRecord {
+	return newRunRecord(bench, cfg.Name(), cfg.Hash(), insts, wall, res)
+}
+
+// newRunRecord is NewRunRecord for callers that already hold the
+// configuration's name and hash (the Runner memoizes both).
+func newRunRecord(bench, cfgName, cfgHash string, insts int64, wall time.Duration, res *stats.Run) RunRecord {
 	return RunRecord{
 		Provenance: Provenance{
 			Bench:       bench,
-			Config:      cfg.Name(),
-			ConfigHash:  cfg.Hash(),
+			Config:      cfgName,
+			ConfigHash:  cfgHash,
 			Insts:       insts,
 			WallSeconds: wall.Seconds(),
 			Runner:      RunnerVersion,
@@ -105,6 +111,13 @@ type Results struct {
 	// or some cell was abandoned. Abandoned names every missing cell.
 	Partial   bool            `json:"partial,omitempty"`
 	Abandoned []AbandonedCell `json:"abandoned,omitempty"`
+	// JournalError records a degraded checkpoint journal (the first
+	// append that failed). The results themselves are complete — a
+	// journal failure costs resumability, not the sweep — but a resume
+	// or server restart over this journal will re-simulate the cells
+	// that failed to append, so the envelope must not look fully
+	// durable when it is not.
+	JournalError string `json:"journal_error,omitempty"`
 }
 
 // NewResults starts an artifact envelope for the given tool and
@@ -139,9 +152,9 @@ func (rs *Results) AddFailedExperiment(name string, rows any, d time.Duration, e
 	rs.Partial = true
 }
 
-// Attach copies the runner's per-run records, abandoned cells, and
-// metrics snapshot into the envelope; call it once, after the sweep.
-// Any abandoned cell marks the envelope partial.
+// Attach copies the runner's per-run records, abandoned cells, journal
+// health, and metrics snapshot into the envelope; call it once, after
+// the sweep. Any abandoned cell marks the envelope partial.
 func (rs *Results) Attach(r *Runner) {
 	if recs := r.Records(); recs != nil {
 		rs.Runs = recs
@@ -149,6 +162,9 @@ func (rs *Results) Attach(r *Runner) {
 	if ab := r.Abandoned(); len(ab) > 0 {
 		rs.Abandoned = ab
 		rs.Partial = true
+	}
+	if jerr := r.JournalErr(); jerr != nil {
+		rs.JournalError = jerr.Error()
 	}
 	rs.Metrics = r.Counters()
 }

@@ -46,8 +46,14 @@ const journalName = "runs.journal"
 // journalMagic identifies (and versions) the file format.
 const journalMagic = "mdspec-journal/1\n"
 
-// journalMeta fingerprints the sweep options a journal belongs to.
-type journalMeta struct {
+// Fingerprint identifies the provenance tuple a result cache or
+// checkpoint journal is keyed under, beyond the per-cell (benchmark,
+// config hash) pair: the runner revision, the instruction budget, and
+// the sampling windows. Two sweeps with equal Fingerprints request the
+// same cells; mdserve uses it to refuse requests whose cells would not
+// be this server's cells, exactly as the journal refuses a foreign
+// file.
+type Fingerprint struct {
 	Runner           string `json:"runner_version"`
 	Insts            int64  `json:"insts"`
 	Sampled          bool   `json:"sampled"`
@@ -56,9 +62,10 @@ type journalMeta struct {
 	SegmentPeriods   int    `json:"segment_periods,omitempty"`
 }
 
-// metaFor derives the journal fingerprint of a sweep's options.
-func metaFor(opt Options) journalMeta {
-	m := journalMeta{Runner: RunnerVersion, Insts: opt.Insts, Sampled: opt.Sampled}
+// Fingerprint derives the provenance fingerprint of the options: the
+// journal's meta header and the mdserve request-validation key.
+func (opt Options) Fingerprint() Fingerprint {
+	m := Fingerprint{Runner: RunnerVersion, Insts: opt.Insts, Sampled: opt.Sampled}
 	if opt.Sampled {
 		m.TimingWindow = opt.timingWindow()
 		m.FunctionalWindow = opt.functionalWindow()
@@ -69,7 +76,7 @@ func metaFor(opt Options) journalMeta {
 
 // journalEntry is one framed record: exactly one of Meta or Run is set.
 type journalEntry struct {
-	Meta *journalMeta `json:"meta,omitempty"`
+	Meta *Fingerprint `json:"meta,omitempty"`
 	Run  *RunRecord   `json:"run,omitempty"`
 }
 
@@ -94,7 +101,7 @@ func OpenJournal(dir string, opt Options) (*Journal, []RunRecord, error) {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
 	path := filepath.Join(dir, journalName)
-	want := metaFor(opt)
+	want := opt.Fingerprint()
 
 	recs, validLen, err := replayJournal(path, want)
 	if err != nil {
@@ -127,7 +134,7 @@ func OpenJournal(dir string, opt Options) (*Journal, []RunRecord, error) {
 func (j *Journal) Path() string { return j.path }
 
 // init writes the magic line and the meta entry of a fresh journal.
-func (j *Journal) init(meta journalMeta) error {
+func (j *Journal) init(meta Fingerprint) error {
 	if _, err := j.f.WriteString(journalMagic); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
@@ -185,7 +192,7 @@ const maxJournalEntry = 64 << 20
 // validLen = -1 (nothing to truncate, journal needs initialization). A
 // torn or corrupt tail ends the scan at the last intact frame — every
 // entry before it is replayed, nothing after it is trusted.
-func replayJournal(path string, want journalMeta) ([]RunRecord, int64, error) {
+func replayJournal(path string, want Fingerprint) ([]RunRecord, int64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {

@@ -3,32 +3,52 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"sync"
 	"time"
+	"unicode/utf8"
 )
 
-// Progress renders a live single-line sweep status (jobs finished vs
-// started, the most recent job, cache hits, elapsed time) by rewriting
-// one terminal line on each hook event. Wire it into a Runner via
-// Options.Hooks = p.Hooks(), and call Done before printing anything
-// else to the same stream.
+// Progress renders a live sweep status (jobs finished vs started, the
+// most recent job, cache hits, elapsed time) from runner hook events.
+// On a terminal it rewrites one status line in place; on any other
+// writer (a CI log, a pipe, a file) carriage-return rewrites would
+// smear every repaint into one unreadable line, so it falls back to
+// whole-line updates emitted at most every couple of seconds. Wire it
+// into a Runner via Options.Hooks = p.Hooks(), and call Done before
+// printing anything else to the same stream.
 type Progress struct {
-	mu       sync.Mutex
-	w        io.Writer
-	start    time.Time
-	started  int
-	finished int
-	failed   int
-	hits     int
-	last     string
-	lastLen  int
-	done     bool
+	mu          sync.Mutex
+	w           io.Writer
+	start       time.Time
+	interactive bool
+	// minInterval throttles non-interactive line updates (tests set 0).
+	minInterval time.Duration
+	lastPrint   time.Time
+	started     int
+	finished    int
+	failed      int
+	hits        int
+	last        string
+	// lastWidth is the rune count of the previously painted line;
+	// padding with byte length would miscount any multi-byte output
+	// (benchmark or config names are not guaranteed ASCII).
+	lastWidth int
+	done      bool
 }
 
 // NewProgress returns a Progress writing to w (normally os.Stderr).
+// Terminal detection keys off w being a character device; anything
+// else gets the periodic whole-line mode.
 func NewProgress(w io.Writer) *Progress {
-	return &Progress{w: w, start: time.Now()}
+	p := &Progress{w: w, start: time.Now(), minInterval: 2 * time.Second}
+	if f, ok := w.(*os.File); ok {
+		if fi, err := f.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
+			p.interactive = true
+		}
+	}
+	return p
 }
 
 // Hooks returns runner hooks that drive this progress line.
@@ -73,12 +93,22 @@ func (p *Progress) render() {
 	if p.failed > 0 {
 		line += fmt.Sprintf(" | %d FAILED", p.failed)
 	}
+	if !p.interactive {
+		now := time.Now()
+		if !p.lastPrint.IsZero() && now.Sub(p.lastPrint) < p.minInterval {
+			return
+		}
+		p.lastPrint = now
+		fmt.Fprintln(p.w, line)
+		return
+	}
+	width := utf8.RuneCountInString(line)
 	pad := ""
-	if n := p.lastLen - len(line); n > 0 {
+	if n := p.lastWidth - width; n > 0 {
 		pad = strings.Repeat(" ", n)
 	}
 	fmt.Fprintf(p.w, "\r%s%s", line, pad)
-	p.lastLen = len(line)
+	p.lastWidth = width
 }
 
 // Done clears the progress line and stops further rendering.
@@ -89,7 +119,7 @@ func (p *Progress) Done() {
 		return
 	}
 	p.done = true
-	if p.lastLen > 0 {
-		fmt.Fprintf(p.w, "\r%s\r", strings.Repeat(" ", p.lastLen))
+	if p.interactive && p.lastWidth > 0 {
+		fmt.Fprintf(p.w, "\r%s\r", strings.Repeat(" ", p.lastWidth))
 	}
 }

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+	"unicode/utf8"
+)
+
+// A non-terminal writer must get newline-terminated whole lines, never
+// carriage-return rewrites: \r spam turns a CI log into one mega-line.
+func TestProgressNonTerminalUsesNewlines(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	if p.interactive {
+		t.Fatal("a bytes.Buffer must not be detected as a terminal")
+	}
+	p.minInterval = 0 // no throttling: every event prints
+	h := p.Hooks()
+	h.JobStarted("126.gcc", "NAS/SYNC")
+	h.JobFinished("126.gcc", "NAS/SYNC", time.Millisecond, nil)
+	p.Done()
+
+	out := buf.String()
+	if strings.Contains(out, "\r") {
+		t.Errorf("non-terminal progress wrote carriage returns:\n%q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 newline-terminated updates, got %d:\n%q", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "126.gcc NAS/SYNC") {
+		t.Errorf("update line missing job identity: %q", lines[0])
+	}
+}
+
+// Whole-line updates on a non-terminal are throttled so a render-loop
+// burst of hook events does not flood the log.
+func TestProgressNonTerminalThrottles(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	p.minInterval = time.Hour
+	h := p.Hooks()
+	for i := 0; i < 50; i++ {
+		h.JobStarted("126.gcc", "NAS/SYNC")
+	}
+	p.Done()
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Errorf("want 1 throttled update for 50 events, got %d:\n%q", got, buf.String())
+	}
+}
+
+// Terminal repaints must pad with rune width, not byte length: a
+// previous line containing multi-byte runes would otherwise leave the
+// cursor mid-line or scatter stray padding.
+func TestProgressPadsWithRuneWidth(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	p.interactive = true
+
+	p.mu.Lock()
+	p.started = 1
+	p.last = "bench-αβγδεζηθικλμν" // multi-byte: rune count < byte count
+	p.render()
+	p.last = "x"
+	p.render()
+	p.mu.Unlock()
+
+	chunks := strings.Split(buf.String(), "\r")
+	// chunks[0] is empty (output starts with \r); chunks[1] is the long
+	// line, chunks[2] the short line plus padding.
+	if len(chunks) != 3 {
+		t.Fatalf("want 2 repaints, got %d: %q", len(chunks)-1, buf.String())
+	}
+	long, short := chunks[1], chunks[2]
+	if got, want := utf8.RuneCountInString(short), utf8.RuneCountInString(long); got != want {
+		t.Errorf("short repaint covers %d columns, previous line had %d (byte-length padding?)\nlong:  %q\nshort: %q",
+			got, want, long, short)
+	}
+}

@@ -155,8 +155,10 @@ type Runner struct {
 	progs      map[string]*prog.Program
 	recs       map[string]*emu.Recording
 	cache      map[runKey]*stats.Run
+	hashes     map[config.Machine]string
 	inflight   map[runKey]*call
 	records    []RunRecord
+	recordIdx  map[runKeyID]int
 	primed     map[runKeyID]RunRecord
 	abandoned  []AbandonedCell
 	abandonSet map[runKeyID]bool
@@ -213,7 +215,9 @@ func NewRunner(opt Options) *Runner {
 		progs:      make(map[string]*prog.Program),
 		recs:       make(map[string]*emu.Recording),
 		cache:      make(map[runKey]*stats.Run),
+		hashes:     make(map[config.Machine]string),
 		inflight:   make(map[runKey]*call),
+		recordIdx:  make(map[runKeyID]int),
 		primed:     make(map[runKeyID]RunRecord),
 		abandonSet: make(map[runKeyID]bool),
 		sem:        parsim.NewSem(opt.parallel()),
@@ -297,6 +301,21 @@ func (r *Runner) Records() []RunRecord {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return append([]RunRecord(nil), r.records...)
+}
+
+// Record returns the provenance record of a completed (bench, config)
+// cell — executed or replayed by this runner — so a service response
+// can carry the cell's true wall time, attempts, and fallback marker
+// rather than a reconstruction. The second result is false while the
+// cell has not finished successfully.
+func (r *Runner) Record(bench string, cfg config.Machine) (RunRecord, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.recordIdx[runKeyID{bench, r.cfgHashLocked(cfg)}]
+	if !ok {
+		return RunRecord{}, false
+	}
+	return r.records[i], true
 }
 
 func (r *Runner) program(bench string) (*prog.Program, error) {
@@ -478,6 +497,44 @@ func (r *Runner) runWithRecovery(ctx context.Context, bench string, cfg config.M
 	return nil, attempts, "", err
 }
 
+// cfgHash returns cfg's provenance hash, memoized per Runner the way
+// cfgName already is per call: Hash() renders every Machine field
+// through fmt, and under mdserve the hash is consulted on every
+// request (cache key, journal key, abandoned-cell identity).
+func (r *Runner) cfgHash(cfg config.Machine) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cfgHashLocked(cfg)
+}
+
+// cfgHashLocked is cfgHash for callers already holding r.mu.
+func (r *Runner) cfgHashLocked(cfg config.Machine) string {
+	if h, ok := r.hashes[cfg]; ok {
+		return h
+	}
+	h := cfg.Hash()
+	r.hashes[cfg] = h
+	return h
+}
+
+// RunSource reports where a simulation result came from, for service
+// responses and dedup accounting.
+type RunSource string
+
+// Run result sources.
+const (
+	// SourceSimulated is a fresh simulation executed by this call.
+	SourceSimulated RunSource = "simulated"
+	// SourceCache is a result served from the memo cache.
+	SourceCache RunSource = "cache"
+	// SourceDedup is a call that joined an in-flight duplicate
+	// simulation started by a concurrent caller (singleflight).
+	SourceDedup RunSource = "dedup"
+	// SourceJournal is a cell replayed from a primed checkpoint journal
+	// without re-simulation.
+	SourceJournal RunSource = "journal"
+)
+
 // Run simulates bench under cfg. Results are memoized, and concurrent
 // calls for the same (bench, cfg) pair share a single simulation
 // (singleflight). A canceled context aborts before starting new work;
@@ -485,8 +542,18 @@ func (r *Runner) runWithRecovery(ctx context.Context, bench string, cfg config.M
 // the cache for later callers). Errors are returned naming the
 // offending (bench, config) pair and are not cached.
 func (r *Runner) Run(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, error) {
+	res, _, err := r.RunWithSource(ctx, bench, cfg)
+	return res, err
+}
+
+// RunWithSource is Run, additionally reporting whether the result was
+// freshly simulated, served from the memo cache, deduplicated against
+// an in-flight duplicate, or replayed from a primed journal. mdserve
+// responses carry the source so clients can tell a cache hit from a
+// paid simulation.
+func (r *Runner) RunWithSource(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, RunSource, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	key := runKey{bench, cfg}
 	// Name() rebuilds the paper-style string on every call; the hook and
@@ -500,24 +567,26 @@ func (r *Runner) Run(ctx context.Context, bench string, cfg config.Machine) (*st
 		if r.opt.Hooks.CacheHit != nil {
 			r.opt.Hooks.CacheHit(bench, cfgName)
 		}
-		return res, nil
+		return res, SourceCache, nil
 	}
 	if len(r.primed) > 0 {
 		// A cell replayed from a resumed journal: promote it into the
 		// memo cache and the provenance records, skipping the simulation
 		// entirely (its stats are bit-identical to re-running by the
 		// determinism contract).
-		if rec, ok := r.primed[runKeyID{bench, cfg.Hash()}]; ok {
-			delete(r.primed, runKeyID{bench, cfg.Hash()})
+		id := runKeyID{bench, r.cfgHashLocked(cfg)}
+		if rec, ok := r.primed[id]; ok {
+			delete(r.primed, id)
 			res := rec.Stats
 			r.cache[key] = res
 			r.records = append(r.records, rec)
+			r.recordIdx[id] = len(r.records) - 1
 			r.mu.Unlock()
 			r.replayed.Add(1)
 			if r.opt.Hooks.CacheHit != nil {
 				r.opt.Hooks.CacheHit(bench, cfgName)
 			}
-			return res, nil
+			return res, SourceJournal, nil
 		}
 	}
 	if c, ok := r.inflight[key]; ok {
@@ -525,15 +594,15 @@ func (r *Runner) Run(ctx context.Context, bench string, cfg config.Machine) (*st
 		select {
 		case <-c.done:
 			if c.err != nil {
-				return nil, c.err
+				return nil, "", c.err
 			}
 			r.cacheHits.Add(1)
 			if r.opt.Hooks.CacheHit != nil {
 				r.opt.Hooks.CacheHit(bench, cfgName)
 			}
-			return c.res, nil
+			return c.res, SourceDedup, nil
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, "", ctx.Err()
 		}
 	}
 	c := &call{done: make(chan struct{})}
@@ -564,17 +633,19 @@ func (r *Runner) Run(ctx context.Context, bench string, cfg config.Machine) (*st
 	r.mu.Lock()
 	delete(r.inflight, key)
 	if err == nil {
-		rec = NewRunRecord(bench, cfg, r.opt.Insts, wall, res)
+		cfgHash := r.cfgHashLocked(cfg)
+		rec = newRunRecord(bench, cfgName, cfgHash, r.opt.Insts, wall, res)
 		rec.Attempts = attempts
 		rec.Fallback = fallback
 		r.cache[key] = res
 		r.records = append(r.records, rec)
+		r.recordIdx[runKeyID{bench, cfgHash}] = len(r.records) - 1
 	} else if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 		// The cell is abandoned (retries and any fallback exhausted, or
 		// a permanent failure): name it so the partial-results envelope
 		// can report exactly what is missing. Errors are not cached, so
 		// a later Run of the same cell may retry it; keep one entry.
-		id := runKeyID{bench, cfg.Hash()}
+		id := runKeyID{bench, r.cfgHashLocked(cfg)}
 		if !r.abandonSet[id] {
 			r.abandonSet[id] = true
 			r.abandoned = append(r.abandoned, AbandonedCell{
@@ -600,7 +671,51 @@ func (r *Runner) Run(ctx context.Context, bench string, cfg config.Machine) (*st
 
 	c.res, c.err = res, err
 	close(c.done)
-	return res, err
+	return res, SourceSimulated, err
+}
+
+// SimulateFunc is the signature of a simulation backend: it turns one
+// (benchmark, configuration) cell into a statistics run.
+type SimulateFunc func(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, error)
+
+// UseBackend replaces the runner's simulation backend — both the
+// primary engine and the sampled serial fallback — while keeping the
+// memo cache, singleflight dedup, journal priming, hooks and counters
+// in front of it. mdexp -server uses it to point experiments at a
+// remote mdserve daemon instead of simulating locally. Call it before
+// the first Run; it is not safe to swap backends mid-sweep.
+func (r *Runner) UseBackend(sim SimulateFunc) {
+	r.sim = sim
+	r.simSerial = sim
+}
+
+// RunGuarded is Run behind the runner's parallelism budget: a call
+// that will be answered without simulating — memo cache, primed
+// journal, or joining an in-flight duplicate — proceeds immediately,
+// anything else first acquires one token of Options.Parallel. It is
+// the per-job step of the bounded sweep pool (runAll) and of the
+// mdserve scheduler's workers, which must never let one queued request
+// oversubscribe the shared simulation budget.
+func (r *Runner) RunGuarded(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, RunSource, error) {
+	key := runKey{bench, cfg}
+	r.mu.Lock()
+	_, settled := r.cache[key]
+	if !settled && len(r.primed) > 0 {
+		_, settled = r.primed[runKeyID{bench, r.cfgHashLocked(cfg)}]
+	}
+	if !settled {
+		// Joining an in-flight duplicate blocks but performs no work;
+		// holding a token for the wait would starve real simulations.
+		_, settled = r.inflight[key]
+	}
+	r.mu.Unlock()
+	if !settled {
+		if err := r.sem.Acquire(ctx); err != nil {
+			return nil, "", err
+		}
+		defer r.sem.Release()
+	}
+	return r.RunWithSource(ctx, bench, cfg)
 }
 
 // job is one (bench, config) simulation request.
@@ -609,27 +724,36 @@ type job struct {
 	cfg   config.Machine
 }
 
-// runAll executes all jobs with bounded parallelism. Unlike a
+// runAll executes all jobs with bounded parallelism: a fixed pool of
+// at most Options.Parallel workers drains the job list, so a sweep of
+// N cells costs O(parallel) goroutines instead of N (the same pool
+// shape mdserve uses to absorb unbounded request streams). Unlike a
 // first-error-wins sweep, it drains every job and returns the joined
 // errors of all failures, each naming its (bench, config) pair. When
 // ctx is canceled, jobs not yet running are abandoned and a single
 // context error is reported alongside any real failures.
 func (r *Runner) runAll(ctx context.Context, jobs []job) error {
 	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j job) {
-			defer wg.Done()
-			if err := r.sem.Acquire(ctx); err != nil {
-				errs[i] = err
-				return
-			}
-			defer r.sem.Release()
-			_, err := r.Run(ctx, j.bench, j.cfg)
-			errs[i] = err
-		}(i, j)
+	workers := r.opt.parallel()
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				_, _, err := r.RunGuarded(ctx, jobs[i].bench, jobs[i].cfg)
+				errs[i] = err
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 
 	var failures []error

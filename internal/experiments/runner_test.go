@@ -328,6 +328,7 @@ func TestResultsCSV(t *testing.T) {
 func TestProgressLine(t *testing.T) {
 	var buf bytes.Buffer
 	p := NewProgress(&buf)
+	p.interactive = true // pin the terminal mode; a buffer autodetects as non-TTY
 	h := p.Hooks()
 	h.JobStarted("126.gcc", "NAS/NAV")
 	h.JobFinished("126.gcc", "NAS/NAV", time.Millisecond, nil)

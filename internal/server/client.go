@@ -1,0 +1,120 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"mdspec/internal/config"
+	"mdspec/internal/experiments"
+	"mdspec/internal/stats"
+)
+
+// Client talks to an mdserve daemon. Its Run method has the
+// experiments.SimulateFunc shape, so a local Runner can mount it as a
+// remote backend (Runner.UseBackend) and every experiment — memo
+// cache, hooks, artifacts included — runs unchanged against the
+// daemon; that is mdexp -server.
+type Client struct {
+	base string
+	hc   *http.Client
+	meta experiments.Fingerprint
+}
+
+// NewClient returns a client for the daemon at addr (host:port or a
+// full http:// URL), stamping every request with the provenance
+// fingerprint of opt so the server can refuse mismatched cells.
+func NewClient(addr string, opt experiments.Options) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{
+		base: strings.TrimRight(addr, "/"),
+		// Simulations can legitimately take minutes; cancellation comes
+		// from the request context, not a transport timeout.
+		hc:   &http.Client{},
+		meta: opt.Fingerprint(),
+	}
+}
+
+// decodeError turns a non-2xx response into a descriptive error.
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var er ErrorResponse
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		if er.Server != nil {
+			return fmt.Errorf("mdserve: %s (HTTP %d); the daemon serves %+v — restart it with matching -n/-sampled flags or adjust yours", er.Error, resp.StatusCode, *er.Server)
+		}
+		return fmt.Errorf("mdserve: %s (HTTP %d)", er.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("mdserve: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+}
+
+// Check verifies the daemon is reachable and serves exactly this
+// client's provenance tuple, so a sweep fails fast with a clear
+// message instead of 409ing on its first cell.
+func (c *Client) Check(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/options", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("mdserve: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	var opts OptionsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&opts); err != nil {
+		return fmt.Errorf("mdserve: decoding /v1/options: %w", err)
+	}
+	if opts.Fingerprint != c.meta {
+		return fmt.Errorf("mdserve: provenance mismatch: this sweep wants %+v, the daemon serves %+v (align -n/-sampled, or restart the daemon)", c.meta, opts.Fingerprint)
+	}
+	return nil
+}
+
+// Run requests one (benchmark, configuration) cell from the daemon
+// and returns its statistics. The daemon answers from its
+// content-addressed cache when it can; either way the stats are
+// bit-identical to a local simulation by the determinism contract.
+func (c *Client) Run(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, error) {
+	res, _, err := c.RunWithSource(ctx, bench, cfg)
+	return res, err
+}
+
+// RunWithSource is Run, also reporting the daemon-side result source
+// (simulated / cache / dedup / journal).
+func (c *Client) RunWithSource(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, experiments.RunSource, error) {
+	body, err := json.Marshal(RunRequest{Bench: bench, Config: cfg, Meta: &c.meta})
+	if err != nil {
+		return nil, "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/runs", bytes.NewReader(body))
+	if err != nil {
+		return nil, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, "", fmt.Errorf("mdserve: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", decodeError(resp)
+	}
+	var rr RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return nil, "", fmt.Errorf("mdserve: decoding run response: %w", err)
+	}
+	if rr.Record.Stats == nil {
+		return nil, "", fmt.Errorf("mdserve: response for %s under %s carries no stats", bench, cfg.Name())
+	}
+	return rr.Record.Stats, rr.Source, nil
+}

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"mdspec/internal/config"
+	"mdspec/internal/experiments"
+	"mdspec/internal/stats"
+)
+
+// ErrQueueFull reports a request refused because the bounded work
+// queue is at capacity (mapped to 503 by the HTTP layer).
+var ErrQueueFull = errors.New("server: work queue full")
+
+// ErrShuttingDown reports a request refused because the scheduler has
+// been closed (the daemon is draining).
+var ErrShuttingDown = errors.New("server: shutting down")
+
+// task is one queued cell request. done must be buffered by the
+// submitter with room for one result per task sharing it, so workers
+// never block on a slow or departed client.
+type task struct {
+	bench string
+	cfg   config.Machine
+	ctx   context.Context
+	// started, when non-nil, is invoked once when a worker picks the
+	// task up; it must not block.
+	started func(t *task)
+	done    chan<- taskResult
+}
+
+// taskResult is one completed (or refused) task.
+type taskResult struct {
+	t   *task
+	res *stats.Run
+	src experiments.RunSource
+	err error
+}
+
+// scheduler is the bounded work queue between the HTTP handlers and
+// the Runner: a fixed pool of workers drains the queue through
+// Runner.RunGuarded, whose semaphore is the same budget the
+// interval-parallel segment engine borrows from — so queue depth
+// bounds memory, the pool bounds goroutines, and the semaphore bounds
+// actual simulation parallelism, no matter how many clients connect.
+type scheduler struct {
+	runner *experiments.Runner
+	tasks  chan *task
+
+	// closing serializes submission against close: submitters hold the
+	// read side while enqueueing so close cannot pull the channel out
+	// from under a send in flight.
+	closing sync.RWMutex
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+func newScheduler(r *experiments.Runner, workers, depth int) *scheduler {
+	s := &scheduler{runner: r, tasks: make(chan *task, depth)}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	for t := range s.tasks {
+		if err := t.ctx.Err(); err != nil {
+			// The client gave up while the task sat in the queue; do not
+			// spend the simulation budget on it.
+			t.done <- taskResult{t: t, err: err}
+			continue
+		}
+		if t.started != nil {
+			t.started(t)
+		}
+		res, src, err := s.runner.RunGuarded(t.ctx, t.bench, t.cfg)
+		t.done <- taskResult{t: t, res: res, src: src, err: err}
+	}
+}
+
+// trySubmit enqueues t without blocking; a full queue returns
+// ErrQueueFull (the single-cell endpoint's backpressure signal).
+func (s *scheduler) trySubmit(t *task) error {
+	s.closing.RLock()
+	defer s.closing.RUnlock()
+	if s.closed {
+		return ErrShuttingDown
+	}
+	select {
+	case s.tasks <- t:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// submit blocks until t is queued or ctx is done (sweep submission:
+// the stream is already open, so the queue exerts backpressure on the
+// submitting goroutine instead of refusing).
+func (s *scheduler) submit(ctx context.Context, t *task) error {
+	s.closing.RLock()
+	defer s.closing.RUnlock()
+	if s.closed {
+		return ErrShuttingDown
+	}
+	select {
+	case s.tasks <- t:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// queue reports the work queue's occupancy and capacity.
+func (s *scheduler) queue() QueueMetrics {
+	return QueueMetrics{Depth: len(s.tasks), Capacity: cap(s.tasks)}
+}
+
+// close drains the scheduler: new submissions are refused, queued
+// tasks run to completion, and workers exit. The HTTP server must be
+// shut down (all handlers returned) before the final close so no
+// submitter is left racing the channel close; the closed flag guards
+// stragglers either way.
+func (s *scheduler) close() {
+	s.closing.Lock()
+	if s.closed {
+		s.closing.Unlock()
+		return
+	}
+	s.closed = true
+	s.closing.Unlock()
+	close(s.tasks)
+	s.wg.Wait()
+}

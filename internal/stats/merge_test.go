@@ -19,6 +19,14 @@ func TestMergeSumsEveryCounter(t *testing.T) {
 				f.SetInt(scale * int64(i+1))
 			case reflect.Uint64:
 				f.SetUint(uint64(scale) * uint64(i+1))
+			case reflect.String:
+				// identity fields, seeded above
+			default:
+				// A counter of a kind this test cannot build would dodge
+				// the summation check below and vanish silently from
+				// sampled results; refuse the blind spot.
+				t.Fatalf("stats.Run field %s has kind %s: teach Merge and this test about it",
+					v.Type().Field(i).Name, f.Kind())
 			}
 		}
 		return r
@@ -26,19 +34,25 @@ func TestMergeSumsEveryCounter(t *testing.T) {
 	m := Merge([]*Run{mk(1), mk(10), mk(100)})
 	v := reflect.ValueOf(m).Elem()
 	typ := v.Type()
+	numeric := 0
 	for i := 0; i < v.NumField(); i++ {
 		f := v.Field(i)
 		want := 111 * int64(i+1)
 		switch f.Kind() {
 		case reflect.Int64:
+			numeric++
 			if f.Int() != want {
 				t.Errorf("%s = %d, want %d (not summed by Merge?)", typ.Field(i).Name, f.Int(), want)
 			}
 		case reflect.Uint64:
+			numeric++
 			if f.Uint() != uint64(want) {
 				t.Errorf("%s = %d, want %d (not summed by Merge?)", typ.Field(i).Name, f.Uint(), want)
 			}
 		}
+	}
+	if numeric < 10 {
+		t.Fatalf("only %d numeric counters checked: reflection walk is broken", numeric)
 	}
 	if m.Config != "NAS/SYNC" || m.Workload != "129.compress" {
 		t.Errorf("identity fields lost: Config=%q Workload=%q", m.Config, m.Workload)
