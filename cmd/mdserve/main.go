@@ -53,6 +53,7 @@ func main() {
 	workers := flag.Int("workers", 0, "scheduler worker pool size (default: -par)")
 	queue := flag.Int("queue", server.DefaultQueueDepth, "bounded work-queue depth; beyond it requests get 503")
 	journalDir := flag.String("journal", "", "checkpoint directory: journal finished cells and re-prime the cache from it on restart")
+	recDir := flag.String("recdir", "", "recording cache directory: mmap per-benchmark columnar recordings, shared read-only across server processes")
 	retries := flag.Int("retries", 0, "attempts per cell before a transient failure abandons it (default 3)")
 	drain := flag.Duration("drain", time.Minute, "maximum time to wait for in-flight requests on shutdown")
 	quiet := flag.Bool("quiet", false, "suppress per-request lifecycle logging")
@@ -64,7 +65,7 @@ func main() {
 
 	logger := log.New(os.Stderr, "mdserve: ", log.LstdFlags)
 
-	opt := experiments.Options{Insts: *insts, Parallel: *par, Retry: retry.Policy{MaxAttempts: *retries}}
+	opt := experiments.Options{Insts: *insts, Parallel: *par, Retry: retry.Policy{MaxAttempts: *retries}, RecordingDir: *recDir}
 	if *sampled != "" {
 		var tw, fw int64
 		if _, err := fmt.Sscanf(*sampled, "%d:%d", &tw, &fw); err != nil {

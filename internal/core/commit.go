@@ -16,51 +16,52 @@ func (p *Pipeline) commit() {
 // instructions committed. The early returns model the in-order commit
 // stage blocking on its oldest instruction.
 func (p *Pipeline) commitEntries() (committed int) {
+	r := &p.rob
 	for n := 0; n < p.cfg.CommitWidth; n++ {
-		e := p.slot(p.headSeq)
-		if !e.valid || e.di.Seq != p.headSeq {
+		s := p.slotIndex(p.headSeq)
+		if r.seq[s] != p.headSeq {
 			break // empty or not yet dispatched (split-window hole)
 		}
-		d := &e.di
+		f := r.flags[s]
 		switch {
-		case e.isStore:
-			if !e.memIssued || p.cycle < e.memDone {
+		case f&fStore != 0:
+			if f&fMemIssued == 0 || p.cycle < r.memDone[s] {
 				return
 			}
 			if p.portLeft == 0 {
 				return // no D-cache write port this cycle
 			}
 			p.portLeft--
-			p.hier.D.Access(d.Addr, p.cycle, true)
-			p.stores.removeSeq(p.slotIndex(d.Seq), d.Addr, d.Seq)
+			p.hier.D.Access(r.addr[s], p.cycle, true)
+			p.stores.removeSeq(s, r.addr[s], p.headSeq)
 			p.res.CommittedStores++
 			p.memInFlight--
-		case e.isLoad:
-			if !e.memIssued || p.cycle < e.memDone {
+		case f&fLoad != 0:
+			if f&fMemIssued == 0 || p.cycle < r.memDone[s] {
 				return
 			}
-			p.loads.removeSeq(p.slotIndex(d.Seq), d.Addr, d.Seq)
+			p.loads.removeSeq(s, r.addr[s], p.headSeq)
 			p.res.CommittedLoads++
 			p.memInFlight--
-			if e.fdCounted && e.fdFalse {
+			if f&fFdCounted != 0 && f&fFdFalse != 0 {
 				p.res.FalseDepLoads++
-				p.res.FalseDepDelay += e.memIssue - e.couldIssue
+				p.res.FalseDepDelay += r.memIssue[s] - r.couldIssue[s]
 			}
-			if e.memIssue > e.couldIssue && policyDelaysLoads(p.cfg.Policy) {
+			if r.memIssue[s] > r.couldIssue[s] && policyDelaysLoads(p.cfg.Policy) {
 				p.res.SyncWaits++
 			}
 		default:
-			if e.state != stIssued || p.cycle < e.doneCycle {
+			if f&fIssued == 0 || p.cycle < r.doneCycle[s] {
 				return
 			}
 		}
-		if e.isBranch {
+		if f&fBranch != 0 {
 			p.res.Branches++
-			if e.bpWrong {
+			if f&fBpWrong != 0 {
 				p.res.BranchMispredicts++
 			}
 		}
-		e.valid = false
+		r.seq[s] = noSeq
 		p.headSeq++
 		p.res.Committed++
 		committed++
@@ -76,12 +77,12 @@ func (p *Pipeline) commitEntries() (committed int) {
 // window (front-end starvation), the oldest instruction waiting on the
 // memory system or the load/store policy, or plain execution latency.
 func (p *Pipeline) classifyStall() {
-	e := p.slot(p.headSeq)
-	if !e.valid || e.di.Seq != p.headSeq {
+	s := p.slotIndex(p.headSeq)
+	if p.rob.seq[s] != p.headSeq {
 		p.res.StallEmpty++
 		return
 	}
-	if e.isMem {
+	if p.rob.flags[s]&fMem != 0 {
 		p.res.StallMem++
 		return
 	}

@@ -64,7 +64,7 @@ func (p *Pipeline) fetch() {
 				break
 			}
 		}
-		rec := fetchRec{seq: p.fetchSeq, ready: p.cycle + int64(p.cfg.FrontEndDepth), isMem: d.Inst.Op.IsMem()}
+		rec := fetchRec{di: *d, seq: p.fetchSeq, ready: p.cycle + int64(p.cfg.FrontEndDepth), isMem: d.Inst.Op.IsMem()}
 		if d.IsBranch() {
 			if branches == p.cfg.BranchesPerCycle {
 				break
@@ -161,7 +161,7 @@ func (p *Pipeline) fetchSplit() {
 					break
 				}
 			}
-			rec := fetchRec{seq: seq, ready: p.cycle + int64(p.cfg.FrontEndDepth), isMem: d.Inst.Op.IsMem(), unit: u}
+			rec := fetchRec{di: *d, seq: seq, ready: p.cycle + int64(p.cfg.FrontEndDepth), isMem: d.Inst.Op.IsMem(), unit: u}
 			if d.IsBranch() {
 				if branches == p.cfg.BranchesPerCycle {
 					break
@@ -202,113 +202,190 @@ func (p *Pipeline) dispatch() {
 	if lsq == 0 {
 		lsq = p.cfg.Window
 	}
-	out := p.fetchQ[:0]
 	dispatched := 0
-	for i := range p.fetchQ {
-		rec := p.fetchQ[i]
-		lsqFull := p.memInFlight >= lsq && rec.isMem
-		if dispatched >= width || rec.ready > p.cycle || rec.seq >= p.headSeq+int64(p.cfg.Window) || lsqFull {
-			if !p.cfg.SplitWindow {
-				// Program order: nothing younger can go either.
-				//md:allocok reuse-append into fetchQ[:0]; never exceeds the old length
-				out = append(out, p.fetchQ[i:]...)
+	if !p.cfg.SplitWindow {
+		// Program order: a stalled record stalls everything younger, so
+		// the queue is consumed from the head and the cursor advances.
+		h := p.fetchHead
+		for ; h < len(p.fetchQ); h++ {
+			rec := &p.fetchQ[h]
+			lsqFull := p.memInFlight >= lsq && rec.isMem
+			if dispatched >= width || rec.ready > p.cycle || rec.seq >= p.headSeq+int64(p.cfg.Window) || lsqFull {
 				break
 			}
-			//md:allocok reuse-append into fetchQ[:0]; never exceeds the old length
-			out = append(out, rec)
-			continue
+			p.dispatchOne(rec)
+			dispatched++
 		}
-		p.dispatchOne(rec)
-		dispatched++
+		p.fetchHead = h
+		if h == len(p.fetchQ) {
+			p.fetchQ = p.fetchQ[:0]
+			p.fetchHead = 0
+		} else if h > 0 && 2*h >= cap(p.fetchQ) {
+			// Normalize occasionally so fetch's tail appends reuse the
+			// front of the array instead of growing it without bound.
+			n := copy(p.fetchQ, p.fetchQ[h:])
+			p.fetchQ = p.fetchQ[:n]
+			p.fetchHead = 0
+		}
+	} else {
+		// Split window: units dispatch independently, so stalled records
+		// are skipped and the queue is compacted in place.
+		out := p.fetchQ[:0]
+		for i := range p.fetchQ {
+			rec := &p.fetchQ[i]
+			lsqFull := p.memInFlight >= lsq && rec.isMem
+			if dispatched >= width || rec.ready > p.cycle || rec.seq >= p.headSeq+int64(p.cfg.Window) || lsqFull {
+				//md:allocok reuse-append into fetchQ[:0]; never exceeds the old length
+				out = append(out, *rec)
+				continue
+			}
+			p.dispatchOne(rec)
+			dispatched++
+		}
+		p.fetchQ = out
 	}
 	if dispatched > 0 {
 		p.activity = true
 	}
-	p.fetchQ = out
 }
 
-// dispatchOne installs one instruction into its window slot.
-func (p *Pipeline) dispatchOne(rec fetchRec) {
-	d := p.trace.At(rec.seq)
-	e := p.slot(rec.seq)
-	*e = robEntry{
-		di:          *d,
-		dep1:        d.Dep1Seq,
-		dep2:        d.Dep2Seq,
-		addrReady:   notYet,
-		addrPosted:  notYet,
-		memDone:     notYet,
-		doneCycle:   notYet,
-		valueSource: noSeq,
-		syncOnSeq:   noSeq,
-		bpHist:      rec.bpHist,
-		bpPred:      rec.bpPred,
-		bpWrong:     rec.bpWrong,
-		bpIsCond:    rec.bpIsCond,
-		couldIssue:  notYet,
-		valid:       true,
+// opMeta precomputes the dispatch-time window flags and functional-unit
+// class per opcode, replacing a handful of per-instruction predicate
+// calls with one table read. Indexed by the full uint8 opcode range so
+// the lookup never bounds-checks.
+var opMeta [256]struct {
+	flags uint32
+	class isa.Class
+}
+
+func init() {
+	for i := range opMeta {
+		op := isa.Op(i)
+		f := uint32(0)
+		if op.IsLoad() {
+			f |= fLoad | fMem
+		}
+		if op.IsStore() {
+			f |= fStore | fMem
+		}
+		if op.IsBranch() {
+			f |= fBranch
+		}
+		if op == isa.JR {
+			f |= fJR
+		}
+		opMeta[i].flags = f
+		opMeta[i].class = op.Class()
 	}
+}
+
+// dispatchOne installs one instruction into its window slot. Every
+// column is written explicitly: slots are reused and carry a previous
+// occupant's values.
+//
+//md:hotpath
+func (p *Pipeline) dispatchOne(rec *fetchRec) {
+	d := &rec.di
+	s := p.slotIndex(rec.seq)
+	r := &p.rob
+	r.seq[s] = rec.seq
+	m := &opMeta[d.Inst.Op]
+	f := m.flags
+	if rec.bpPred {
+		f |= fBpPred
+	}
+	if rec.bpWrong {
+		f |= fBpWrong
+	}
+	if rec.bpIsCond {
+		f |= fBpIsCond
+	}
+	if d.Taken {
+		f |= fTaken
+	}
+	isLoad := f&fLoad != 0
+	isStore := f&fStore != 0
+	r.flags[s] = f
+	r.class[s] = m.class
+	r.doneCycle[s] = notYet
+	r.addrReady[s] = notYet
+	r.addrPosted[s] = notYet
+	r.memIssue[s] = 0
+	r.memDone[s] = notYet
+	r.couldIssue[s] = notYet
+	r.dep1[s] = d.Dep1Seq
+	r.dep2[s] = d.Dep2Seq
+	r.prod[s] = d.ProducerSeq
+	r.valueSource[s] = noSeq
+	r.syncOnSeq[s] = noSeq
+	r.specValue[s] = 0
+	r.loadVal[s] = d.LoadVal
+	r.storeVal[s] = d.StoreVal
+	r.pc[s] = d.PC
+	r.addr[s] = d.Addr
+	r.nextPC[s] = d.NextPC
+	r.synonym[s] = 0
+	r.bpHist[s] = rec.bpHist
 	if rec.seq >= p.dispatchSeq {
 		p.dispatchSeq = rec.seq + 1
 	}
-
-	op := d.Inst.Op
-	e.isLoad = op.IsLoad()
-	e.isStore = op.IsStore()
-	e.isMem = e.isLoad || e.isStore
-	e.isBranch = op.IsBranch()
-	e.class = op.Class()
-	e.latency = int64(e.class.Latency())
 	switch {
-	case e.isStore:
+	case isStore:
 		p.memInFlight++
-		p.dispatchStore(e)
-	case e.isLoad:
+		p.dispatchStore(s)
+	case isLoad:
 		p.memInFlight++
-		p.dispatchLoad(e)
+		p.dispatchLoad(s)
 	}
 	p.candInsert(rec.seq)
 }
 
 // dispatchStore applies store-side policy work at dispatch.
-func (p *Pipeline) dispatchStore(e *robEntry) {
-	seq := e.di.Seq
-	s := p.slotIndex(seq)
+func (p *Pipeline) dispatchStore(s int32) {
+	r := &p.rob
+	seq := r.seq[s]
 	p.pendingStores.insert(s, seq)
 	if p.cfg.UseAddressScheduler {
 		p.unpostedStores.insert(s, seq)
 	}
 	switch p.cfg.Policy {
 	case config.StoreBarrier:
-		if p.sbar.Predict(e.di.PC, p.cycle) {
-			e.barrier = true
+		if p.sbar.Predict(r.pc[s], p.cycle) {
+			r.set(s, fBarrier)
 			p.pendingBarriers.insert(s, seq)
 		}
 	case config.Sync:
-		if syn, ok := p.mdpt.StoreSynonym(e.di.PC, p.cycle); ok {
-			e.storeIsSyn, e.synonym = true, syn
+		if syn, ok := p.mdpt.StoreSynonym(r.pc[s], p.cycle); ok {
+			r.set(s, fStoreIsSyn)
+			r.synonym[s] = syn
 		}
 	case config.StoreSets:
-		if id, ok := p.ssets.SSID(e.di.PC, p.cycle); ok {
-			e.storeIsSyn, e.synonym = true, id
+		if id, ok := p.ssets.SSID(r.pc[s], p.cycle); ok {
+			r.set(s, fStoreIsSyn)
+			r.synonym[s] = id
 		}
 	}
 }
 
 // dispatchLoad applies load-side policy work at dispatch.
-func (p *Pipeline) dispatchLoad(e *robEntry) {
+func (p *Pipeline) dispatchLoad(s int32) {
+	r := &p.rob
 	switch p.cfg.Policy {
 	case config.Selective:
-		e.waitAll = p.sel.Predict(e.di.PC, p.cycle)
+		if p.sel.Predict(r.pc[s], p.cycle) {
+			r.set(s, fWaitAll)
+		}
 	case config.Sync:
-		if syn, ok := p.mdpt.LoadSynonym(e.di.PC, p.cycle); ok {
-			e.hasSyn, e.synonym = true, syn
-			e.syncOnSeq = p.closestSynonymStore(e.di.Seq, syn)
+		if syn, ok := p.mdpt.LoadSynonym(r.pc[s], p.cycle); ok {
+			r.set(s, fHasSyn)
+			r.synonym[s] = syn
+			r.syncOnSeq[s] = p.closestSynonymStore(r.seq[s], syn)
 		}
 	case config.StoreSets:
-		if id, ok := p.ssets.SSID(e.di.PC, p.cycle); ok {
-			e.hasSyn, e.synonym = true, id
-			e.syncOnSeq = p.closestSynonymStore(e.di.Seq, id)
+		if id, ok := p.ssets.SSID(r.pc[s], p.cycle); ok {
+			r.set(s, fHasSyn)
+			r.synonym[s] = id
+			r.syncOnSeq[s] = p.closestSynonymStore(r.seq[s], id)
 		}
 	}
 }
@@ -317,13 +394,14 @@ func (p *Pipeline) dispatchLoad(e *robEntry) {
 // loadSeq marked as a producer of synonym syn, or noSeq.
 func (p *Pipeline) closestSynonymStore(loadSeq int64, syn uint32) int64 {
 	lo := p.headSeq
-	for s := loadSeq - 1; s >= lo; s-- {
-		e := p.slot(s)
-		if !e.valid || e.di.Seq != s {
+	for q := loadSeq - 1; q >= lo; q-- {
+		s := p.slotIndex(q)
+		if p.rob.seq[s] != q {
 			continue
 		}
-		if e.isStore && e.storeIsSyn && e.synonym == syn {
-			return s
+		f := p.rob.flags[s]
+		if f&fStore != 0 && f&fStoreIsSyn != 0 && p.rob.synonym[s] == syn {
+			return q
 		}
 	}
 	return noSeq

@@ -32,11 +32,10 @@ func (p *Pipeline) checkInvariants() error {
 				return fmt.Errorf("%s not strictly ascending: %d after %d", name, seq, prev)
 			}
 			prev = seq
-			e := p.slot(seq)
-			if !e.valid || e.di.Seq != seq {
+			if p.rob.seq[p.slotIndex(seq)] != seq {
 				return fmt.Errorf("%s references dead seq %d", name, seq)
 			}
-			if !e.di.IsStore() {
+			if p.rob.flags[p.slotIndex(seq)]&fStore == 0 {
 				return fmt.Errorf("%s references non-store seq %d", name, seq)
 			}
 		}
@@ -56,7 +55,7 @@ func (p *Pipeline) checkInvariants() error {
 	}
 	// A completed store must not be in pendingStores.
 	for s := p.pendingStores.head; s != nilSlot; s = p.pendingStores.next[s] {
-		if p.slot(p.pendingStores.seq[s]).completed {
+		if p.rob.flags[s]&fCompleted != 0 {
 			return fmt.Errorf("completed store %d still pending", p.pendingStores.seq[s])
 		}
 	}
@@ -77,11 +76,11 @@ func (p *Pipeline) checkInvariants() error {
 					return fmt.Errorf("%s bucket %d not ascending: %d after %d", name, b, seq, prev)
 				}
 				prev = seq
-				e := p.slot(seq)
-				if !e.valid || e.di.Seq != seq || e.di.Addr != t.addr[s] {
+				rs := p.slotIndex(seq)
+				if p.rob.seq[rs] != seq || p.rob.addr[rs] != t.addr[s] {
 					return fmt.Errorf("%s stale seq %d", name, seq)
 				}
-				if wantLoad != e.di.IsLoad() {
+				if wantLoad != (p.rob.flags[rs]&fLoad != 0) {
 					return fmt.Errorf("%s references wrong-kind seq %d", name, seq)
 				}
 			}
@@ -137,8 +136,8 @@ func (p *Pipeline) checkInvariants() error {
 	// LSQ occupancy must equal the in-flight memory instructions.
 	memCount := 0
 	for seq := p.headSeq; seq < p.dispatchSeq; seq++ {
-		e := p.slot(seq)
-		if e.valid && e.di.Seq == seq && e.di.Inst.Op.IsMem() {
+		s := p.slotIndex(seq)
+		if p.rob.seq[s] == seq && p.rob.flags[s]&fMem != 0 {
 			memCount++
 		}
 	}

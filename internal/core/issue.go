@@ -40,11 +40,11 @@ func (p *Pipeline) issue() {
 // headSeq→dispatchSeq scan every cycle.
 func (p *Pipeline) issueScan() {
 	for seq := p.headSeq; seq < p.dispatchSeq && p.issueLeft > 0; seq++ {
-		e := p.slot(seq)
-		if !e.valid || e.di.Seq != seq {
+		s := p.slotIndex(seq)
+		if p.rob.seq[s] != seq {
 			continue
 		}
-		p.tryIssue(e)
+		p.tryIssue(s)
 	}
 }
 
@@ -63,15 +63,14 @@ func (p *Pipeline) issueEvent() {
 	lo, hi := h, w
 	for phase := 0; phase < 2 && p.issueLeft > 0; phase++ {
 		for s := p.cand.next(lo, hi); s != nilSlot && p.issueLeft > 0; s = p.cand.next(s+1, hi) {
-			e := &p.rob[s]
-			if !e.valid {
+			if !p.rob.live(s) {
 				p.cand.clear(s) // candidate committed or squashed since
 				continue
 			}
 			p.parkReq = parkNone
-			if p.tryIssue(e) {
+			if p.tryIssue(s) {
 				p.activity = true
-				p.afterIssue(s, e)
+				p.afterIssue(s)
 			} else {
 				p.applyParkReq(s)
 			}
@@ -102,11 +101,11 @@ func (p *Pipeline) issueSplitScan() {
 				if int((seq/taskSize)%int64(units)) != u {
 					continue
 				}
-				e := p.slot(seq)
-				if !e.valid || e.di.Seq != seq {
+				s := p.slotIndex(seq)
+				if p.rob.seq[s] != seq {
 					continue
 				}
-				if p.tryIssue(e) {
+				if p.tryIssue(s) {
 					cursors[u] = seq // revisit: entry may have a second uop
 					progress = true
 					break
@@ -168,16 +167,15 @@ func (p *Pipeline) issueSplitEvent() {
 					}
 					v = (b - st) + (s - a)
 				}
-				e := &p.rob[s]
-				if !e.valid {
+				if !p.rob.live(s) {
 					p.cand.clear(s) // candidate committed or squashed since
 					v++
 					continue
 				}
 				p.parkReq = parkNone
-				if p.tryIssue(e) {
+				if p.tryIssue(s) {
 					p.activity = true
-					p.afterIssue(s, e)
+					p.afterIssue(s)
 					if !p.cand.has(s) {
 						// Fully issued or parked; otherwise stay to
 						// revisit: the entry may have a second uop.
@@ -202,23 +200,24 @@ func (p *Pipeline) issueSplitEvent() {
 // fully issued entry leaves; an entry whose next phase is purely timed
 // (its address generation is in flight) parks until the event it
 // scheduled for itself fires.
-func (p *Pipeline) afterIssue(s int32, e *robEntry) {
+func (p *Pipeline) afterIssue(s int32) {
 	if p.parkReq == parkTimer {
 		p.parkTimed(s)
 		return
 	}
-	if entryFullyIssued(e) {
+	if p.entryFullyIssued(s) {
 		p.cand.clear(s)
 	}
 }
 
 // entryFullyIssued reports that the entry has no pending uop left to
 // issue (its remaining progress is pure latency).
-func entryFullyIssued(e *robEntry) bool {
-	if e.isMem {
-		return e.memIssued
+func (p *Pipeline) entryFullyIssued(s int32) bool {
+	f := p.rob.flags[s]
+	if f&fMem != 0 {
+		return f&fMemIssued != 0
 	}
-	return e.state != stWaiting
+	return f&fIssued != 0
 }
 
 // applyParkReq parks a blocked candidate when its failed issue attempt
@@ -252,16 +251,17 @@ func (p *Pipeline) unitOf(seq int64) int {
 	return int((seq / taskSize) % int64(p.cfg.SplitUnits))
 }
 
-// tryIssue attempts to issue the entry's next pending uop; it reports
-// whether anything issued this call.
-func (p *Pipeline) tryIssue(e *robEntry) bool {
+// tryIssue attempts to issue the next pending uop of the entry in slot
+// s; it reports whether anything issued this call.
+func (p *Pipeline) tryIssue(s int32) bool {
+	f := p.rob.flags[s]
 	switch {
-	case e.isLoad:
-		return p.tryIssueLoad(e)
-	case e.isStore:
-		return p.tryIssueStore(e)
+	case f&fLoad != 0:
+		return p.tryIssueLoad(s)
+	case f&fStore != 0:
+		return p.tryIssueStore(s)
 	default:
-		return p.tryIssueSimple(e)
+		return p.tryIssueSimple(s)
 	}
 }
 
@@ -270,15 +270,17 @@ func (p *Pipeline) depReady(dep int64) bool {
 	if dep == noSeq || dep < p.headSeq {
 		return true // from the register file
 	}
-	e := p.slot(dep)
-	if !e.valid || e.di.Seq != dep {
+	s := p.slotIndex(dep)
+	r := &p.rob
+	if r.seq[s] != dep {
 		// Split window: the producer has not even been fetched yet.
 		return false
 	}
-	if e.isMem {
-		return e.memIssued && p.cycle >= e.memDone
+	f := r.flags[s]
+	if f&fMem != 0 {
+		return f&fMemIssued != 0 && p.cycle >= r.memDone[s]
 	}
-	return e.state == stIssued && p.cycle >= e.doneCycle
+	return f&fIssued != 0 && p.cycle >= r.doneCycle[s]
 }
 
 // markPropagated flags producing loads whose value this issue consumed
@@ -288,9 +290,9 @@ func (p *Pipeline) markPropagated(deps ...int64) {
 		if dep == noSeq || dep < p.headSeq {
 			continue
 		}
-		e := p.slot(dep)
-		if e.valid && e.di.Seq == dep && e.isLoad {
-			e.propagated = true
+		s := p.slotIndex(dep)
+		if p.rob.seq[s] == dep && p.rob.flags[s]&fLoad != 0 {
+			p.rob.set(s, fPropagated)
 		}
 	}
 }
@@ -321,57 +323,59 @@ func (p *Pipeline) takeFU(c isa.Class) bool {
 }
 
 // tryIssueSimple handles non-memory instructions (ALU, FP, branches).
-func (p *Pipeline) tryIssueSimple(e *robEntry) bool {
-	if e.state != stWaiting {
+func (p *Pipeline) tryIssueSimple(s int32) bool {
+	r := &p.rob
+	if r.flags[s]&fIssued != 0 {
 		return false
 	}
-	if !p.depReady(e.dep1) {
-		p.requestParkDep(e.dep1)
+	if !p.depReady(r.dep1[s]) {
+		p.requestParkDep(r.dep1[s])
 		return false
 	}
-	if !p.depReady(e.dep2) {
-		p.requestParkDep(e.dep2)
+	if !p.depReady(r.dep2[s]) {
+		p.requestParkDep(r.dep2[s])
 		return false
 	}
-	if p.issueLeft == 0 || !p.takeFU(e.class) {
+	if p.issueLeft == 0 || !p.takeFU(r.class[s]) {
 		return false
 	}
 	p.issueLeft--
-	e.state = stIssued
-	e.issueCycle = p.cycle
-	e.doneCycle = p.cycle + e.latency
-	p.schedule(e.doneCycle, p.slotIndex(e.di.Seq))
-	p.markPropagated(e.dep1, e.dep2)
-	if e.isBranch {
-		p.resolveBranch(e)
+	r.set(s, fIssued)
+	r.doneCycle[s] = p.cycle + int64(r.class[s].Latency())
+	p.schedule(r.doneCycle[s], s)
+	p.markPropagated(r.dep1[s], r.dep2[s])
+	if r.flags[s]&fBranch != 0 {
+		p.resolveBranch(s)
 	}
 	return true
 }
 
 // resolveBranch trains the predictor and, on a misprediction, schedules
 // the fetch redirect for when the branch completes.
-func (p *Pipeline) resolveBranch(e *robEntry) {
-	d := &e.di
-	if e.bpIsCond {
-		p.bp.Resolve(d.PC, e.bpHist, e.bpPred, d.Taken)
+func (p *Pipeline) resolveBranch(s int32) {
+	r := &p.rob
+	f := r.flags[s]
+	seq := r.seq[s]
+	if f&fBpIsCond != 0 {
+		p.bp.Resolve(r.pc[s], r.bpHist[s], f&fBpPred != 0, f&fTaken != 0)
 	}
-	if d.Inst.Op == isa.JR {
-		p.bp.UpdateTarget(d.PC, d.NextPC)
+	if f&fJR != 0 {
+		p.bp.UpdateTarget(r.pc[s], r.nextPC[s])
 	}
-	if !e.bpWrong {
+	if f&fBpWrong == 0 {
 		return
 	}
-	resume := e.doneCycle + 1
+	resume := r.doneCycle[s] + 1
 	if p.cfg.SplitWindow {
-		u := p.unitOf(d.Seq)
-		if p.unitBlockedOn[u] == d.Seq {
+		u := p.unitOf(seq)
+		if p.unitBlockedOn[u] == seq {
 			p.unitBlockedOn[u] = noSeq
 			p.unitResumeAt[u] = max64(p.unitResumeAt[u], resume)
 			p.unitHaveBlock[u] = false
 		}
 		return
 	}
-	if p.blockedOnBranch == d.Seq {
+	if p.blockedOnBranch == seq {
 		p.blockedOnBranch = noSeq
 		p.fetchResumeAt = max64(p.fetchResumeAt, resume)
 		p.haveFetchBlock = false
@@ -384,120 +388,122 @@ func (p *Pipeline) resolveBranch(e *robEntry) {
 // scheduler after the scheduler latency; the data-merge issues when the
 // value arrives. Under NAS, the store issues once, when both address and
 // data operands are ready.
-func (p *Pipeline) tryIssueStore(e *robEntry) bool {
-	if e.memIssued {
+func (p *Pipeline) tryIssueStore(s int32) bool {
+	r := &p.rob
+	if r.flags[s]&fMemIssued != 0 {
 		return false
 	}
+	seq := r.seq[s]
 	if p.cfg.UseAddressScheduler {
-		if !e.agenIssued {
-			if !p.depReady(e.dep1) {
-				p.requestParkDep(e.dep1)
+		if r.flags[s]&fAgen == 0 {
+			if !p.depReady(r.dep1[s]) {
+				p.requestParkDep(r.dep1[s])
 				return false
 			}
 			if p.issueLeft == 0 || !p.takeFU(isa.ClassIntALU) {
 				return false
 			}
 			p.issueLeft--
-			e.agenIssued = true
-			e.addrReady = p.cycle + agenLatency
-			e.addrPosted = e.addrReady + int64(p.cfg.SchedulerLatency)
+			r.set(s, fAgen)
+			r.addrReady[s] = p.cycle + agenLatency
+			r.addrPosted[s] = r.addrReady[s] + int64(p.cfg.SchedulerLatency)
 			//md:allocok amortized: postQ is drained each cycle, capacity is retained
-			p.postQ = append(p.postQ, e.di.Seq)
-			s := p.slotIndex(e.di.Seq)
-			p.schedule(e.addrReady, s)  // wake the data-merge phase
-			p.schedule(e.addrPosted, s) // fire the posting in postQ
+			p.postQ = append(p.postQ, seq)
+			p.schedule(r.addrReady[s], s)  // wake the data-merge phase
+			p.schedule(r.addrPosted[s], s) // fire the posting in postQ
 			p.parkReq = parkTimer
-			p.markPropagated(e.dep1)
+			p.markPropagated(r.dep1[s])
 			return true
 		}
-		if p.cycle < e.addrReady {
+		if p.cycle < r.addrReady[s] {
 			p.parkReq = parkTimer // the agen event is already scheduled
 			return false
 		}
-		if !p.depReady(e.dep2) {
-			p.requestParkDep(e.dep2)
+		if !p.depReady(r.dep2[s]) {
+			p.requestParkDep(r.dep2[s])
 			return false
 		}
 		if p.issueLeft == 0 {
 			return false
 		}
 		p.issueLeft--
-		e.memIssued = true
-		e.memIssue = p.cycle
-		e.memDone = p.cycle + 1 // merge the data into the buffer entry
-		e.state = stIssued
-		e.doneCycle = e.memDone
+		r.set(s, fMemIssued|fIssued)
+		r.memIssue[s] = p.cycle
+		r.memDone[s] = p.cycle + 1 // merge the data into the buffer entry
+		r.doneCycle[s] = r.memDone[s]
 		//md:allocok amortized: compQ is drained each cycle, capacity is retained
-		p.compQ = append(p.compQ, e.di.Seq)
-		p.schedule(e.memDone, p.slotIndex(e.di.Seq))
-		p.markPropagated(e.dep2)
+		p.compQ = append(p.compQ, seq)
+		p.schedule(r.memDone[s], s)
+		p.markPropagated(r.dep2[s])
 		return true
 	}
 	// NAS: single issue event needing base and data.
-	if !p.depReady(e.dep1) {
-		p.requestParkDep(e.dep1)
+	if !p.depReady(r.dep1[s]) {
+		p.requestParkDep(r.dep1[s])
 		return false
 	}
-	if !p.depReady(e.dep2) {
-		p.requestParkDep(e.dep2)
+	if !p.depReady(r.dep2[s]) {
+		p.requestParkDep(r.dep2[s])
 		return false
 	}
 	if p.issueLeft == 0 || !p.takeFU(isa.ClassIntALU) {
 		return false
 	}
 	p.issueLeft--
-	e.memIssued = true
-	e.memIssue = p.cycle
-	e.memDone = p.cycle + agenLatency // operand fetch + address add
-	e.state = stIssued
-	e.doneCycle = e.memDone
-	e.addrReady = e.memDone
+	r.set(s, fMemIssued|fIssued)
+	r.memIssue[s] = p.cycle
+	r.memDone[s] = p.cycle + agenLatency // operand fetch + address add
+	r.doneCycle[s] = r.memDone[s]
+	r.addrReady[s] = r.memDone[s]
 	//md:allocok amortized: compQ is drained each cycle, capacity is retained
-	p.compQ = append(p.compQ, e.di.Seq)
-	p.schedule(e.memDone, p.slotIndex(e.di.Seq))
-	p.markPropagated(e.dep1, e.dep2)
+	p.compQ = append(p.compQ, seq)
+	p.schedule(r.memDone[s], s)
+	p.markPropagated(r.dep1[s], r.dep2[s])
 	return true
 }
 
 // tryIssueLoad advances a load through its two phases: address
 // generation (register-scheduled), then the memory access (scheduled by
 // the active load/store policy).
-func (p *Pipeline) tryIssueLoad(e *robEntry) bool {
-	if !e.agenIssued {
-		if !p.depReady(e.dep1) {
-			p.requestParkDep(e.dep1)
+func (p *Pipeline) tryIssueLoad(s int32) bool {
+	r := &p.rob
+	if r.flags[s]&fAgen == 0 {
+		if !p.depReady(r.dep1[s]) {
+			p.requestParkDep(r.dep1[s])
 			return false
 		}
 		if p.issueLeft == 0 || !p.takeFU(isa.ClassIntALU) {
 			return false
 		}
 		p.issueLeft--
-		e.agenIssued = true
-		e.addrReady = p.cycle + agenLatency
-		p.schedule(e.addrReady, p.slotIndex(e.di.Seq))
+		r.set(s, fAgen)
+		r.addrReady[s] = p.cycle + agenLatency
+		p.schedule(r.addrReady[s], s)
 		p.parkReq = parkTimer
-		p.markPropagated(e.dep1)
+		p.markPropagated(r.dep1[s])
 		return true
 	}
-	if e.memIssued {
+	if r.flags[s]&fMemIssued != 0 {
 		return false
 	}
-	if p.cycle < e.addrReady {
+	if p.cycle < r.addrReady[s] {
 		p.parkReq = parkTimer // the agen event is already scheduled
 		return false
 	}
-	if e.couldIssue == notYet {
-		e.couldIssue = max64(e.addrReady, p.cycle)
+	if r.couldIssue[s] == notYet {
+		r.couldIssue[s] = max64(r.addrReady[s], p.cycle)
 	}
-	eligible, storeWait := p.loadEligible(e)
+	eligible, storeWait := p.loadEligible(s)
 	if !eligible {
-		if storeWait && !e.fdCounted {
+		if storeWait && r.flags[s]&fFdCounted == 0 {
 			// Table 3 accounting: at the moment the load could otherwise
 			// access memory, does a true dependence actually exist?
-			e.fdCounted = true
-			e.fdFalse = !p.trueDepPending(e)
+			r.set(s, fFdCounted)
+			if !p.trueDepPending(s) {
+				r.set(s, fFdFalse)
+			}
 		}
-		p.parkOnStoreBlock(e)
+		p.parkOnStoreBlock(s)
 		return false
 	}
 	if p.issueLeft == 0 || p.portLeft == 0 {
@@ -505,17 +511,18 @@ func (p *Pipeline) tryIssueLoad(e *robEntry) bool {
 	}
 	p.issueLeft--
 	p.portLeft--
-	p.issueLoadMem(e)
+	p.issueLoadMem(s)
 	return true
 }
 
 // loadEligible applies the active policy. storeWait reports that the
 // load is (or would be) blocked behind unresolved earlier stores — used
 // for false-dependence accounting.
-func (p *Pipeline) loadEligible(e *robEntry) (eligible, storeWait bool) {
-	seq := e.di.Seq
+func (p *Pipeline) loadEligible(s int32) (eligible, storeWait bool) {
+	r := &p.rob
+	seq := r.seq[s]
 	if p.cfg.UseAddressScheduler {
-		return p.loadEligibleAS(e)
+		return p.loadEligibleAS(s)
 	}
 	switch p.cfg.Policy {
 	case config.NoSpec:
@@ -526,7 +533,7 @@ func (p *Pipeline) loadEligible(e *robEntry) (eligible, storeWait bool) {
 	case config.Naive:
 		return true, false
 	case config.Selective:
-		if e.waitAll && p.anyPendingStoreBefore(seq) {
+		if r.flags[s]&fWaitAll != 0 && p.anyPendingStoreBefore(seq) {
 			return false, true
 		}
 		return true, false
@@ -536,11 +543,12 @@ func (p *Pipeline) loadEligible(e *robEntry) (eligible, storeWait bool) {
 		}
 		return true, false
 	case config.Sync, config.StoreSets:
-		if e.hasSyn && e.syncOnSeq != noSeq {
-			s := p.slot(e.syncOnSeq)
-			if s.valid && s.di.Seq == e.syncOnSeq && s.isStore {
+		if r.flags[s]&fHasSyn != 0 && r.syncOnSeq[s] != noSeq {
+			syn := r.syncOnSeq[s]
+			ss := p.slotIndex(syn)
+			if r.seq[ss] == syn && r.flags[ss]&fStore != 0 {
 				// Free to issue one cycle after the producer issues.
-				if !s.memIssued || p.cycle < s.memIssue+1 {
+				if r.flags[ss]&fMemIssued == 0 || p.cycle < r.memIssue[ss]+1 {
 					return false, true
 				}
 			}
@@ -549,10 +557,10 @@ func (p *Pipeline) loadEligible(e *robEntry) (eligible, storeWait bool) {
 	case config.Oracle:
 		// Perfect knowledge: wait exactly for the producing store, even
 		// if (split window) it has not been fetched yet.
-		prod := e.di.ProducerSeq
+		prod := r.prod[s]
 		if prod != noSeq && prod >= p.headSeq {
-			s := p.slot(prod)
-			if !s.valid || s.di.Seq != prod || !s.memIssued || p.cycle < s.memIssue+1 {
+			ps := p.slotIndex(prod)
+			if r.seq[ps] != prod || r.flags[ps]&fMemIssued == 0 || p.cycle < r.memIssue[ps]+1 {
 				return false, true
 			}
 		}
@@ -565,13 +573,14 @@ func (p *Pipeline) loadEligible(e *robEntry) (eligible, storeWait bool) {
 // compares its address against the posted addresses of earlier stores.
 // A posted match always makes the load wait for that store's data; under
 // AS/NO, unposted earlier stores also block the load.
-func (p *Pipeline) loadEligibleAS(e *robEntry) (eligible, storeWait bool) {
-	seq := e.di.Seq
+func (p *Pipeline) loadEligibleAS(s int32) (eligible, storeWait bool) {
+	r := &p.rob
+	seq := r.seq[s]
 	if p.cfg.Policy == config.NoSpec && p.anyUnpostedStoreBefore(seq) {
 		return false, true
 	}
-	if m := p.youngestPostedMatch(e.di.Addr, seq); m != nil {
-		if !m.memIssued || p.cycle < m.memIssue+1 {
+	if m := p.youngestPostedMatch(r.addr[s], seq); m != nilSlot {
+		if r.flags[m]&fMemIssued == 0 || p.cycle < r.memIssue[m]+1 {
 			return false, true
 		}
 	}
@@ -590,22 +599,22 @@ func (p *Pipeline) anyUnpostedStoreBefore(seq int64) bool {
 	return !p.unpostedStores.empty() && p.unpostedStores.minSeq() < seq
 }
 
-// youngestPostedMatch returns the youngest store older than loadSeq
-// whose posted address matches addr, or nil. The bucket chain is
-// sequence-sorted, so the first youngest-first hit on addr wins.
-func (p *Pipeline) youngestPostedMatch(addr uint32, loadSeq int64) *robEntry {
+// youngestPostedMatch returns the window slot of the youngest store
+// older than loadSeq whose posted address matches addr, or nilSlot. The
+// bucket chain is sequence-sorted, so the first youngest-first hit on
+// addr wins.
+func (p *Pipeline) youngestPostedMatch(addr uint32, loadSeq int64) int32 {
 	t := &p.stores
 	b := t.bucket(addr)
 	for s := t.btail[b]; s != nilSlot; s = t.prev[s] {
 		if t.addr[s] != addr || t.seq[s] >= loadSeq {
 			continue
 		}
-		e := &p.rob[s]
-		if e.valid && e.di.Seq == t.seq[s] {
-			return e
+		if p.rob.seq[s] == t.seq[s] {
+			return s
 		}
 	}
-	return nil
+	return nilSlot
 }
 
 // parkOnStoreBlock parks a policy-blocked load on the store responsible
@@ -617,24 +626,28 @@ func (p *Pipeline) youngestPostedMatch(addr uint32, loadSeq int64) *robEntry {
 // *issue* (Sync, StoreSets, Oracle, posted-address matches) keep the
 // load as a candidate: their release cycle (memIssue+1) precedes the
 // store's completion event, so a park could wake too late.
-func (p *Pipeline) parkOnStoreBlock(e *robEntry) {
-	seq := e.di.Seq
+func (p *Pipeline) parkOnStoreBlock(s int32) {
+	seq := p.rob.seq[s]
 	if p.cfg.UseAddressScheduler {
-		if p.cfg.Policy == config.NoSpec && p.anyUnpostedStoreBefore(seq) {
-			p.parkReq = p.slotIndex(p.unpostedStores.minSeq())
+		if p.cfg.Policy == config.NoSpec {
+			if q := p.unpostedStores.youngestBelow(seq); q != nilSlot {
+				p.parkReq = q
+			}
 		}
 		return
 	}
 	switch p.cfg.Policy {
 	case config.NoSpec:
-		p.parkReq = p.slotIndex(p.pendingStores.minSeq())
+		p.parkReq = p.pendingStores.youngestBelow(seq)
 	case config.Selective:
-		if e.waitAll && p.anyPendingStoreBefore(seq) {
-			p.parkReq = p.slotIndex(p.pendingStores.minSeq())
+		if p.rob.flags[s]&fWaitAll != 0 {
+			if q := p.pendingStores.youngestBelow(seq); q != nilSlot {
+				p.parkReq = q
+			}
 		}
 	case config.StoreBarrier:
-		if !p.pendingBarriers.empty() && p.pendingBarriers.minSeq() < seq {
-			p.parkReq = p.slotIndex(p.pendingBarriers.minSeq())
+		if q := p.pendingBarriers.youngestBelow(seq); q != nilSlot {
+			p.parkReq = q
 		}
 	}
 }
@@ -642,83 +655,84 @@ func (p *Pipeline) parkOnStoreBlock(e *robEntry) {
 // trueDepPending reports whether the load's architectural producer store
 // is uncommitted and not yet executed (including, in the split window,
 // producers that have not even been fetched).
-func (p *Pipeline) trueDepPending(e *robEntry) bool {
-	prod := e.di.ProducerSeq
+func (p *Pipeline) trueDepPending(s int32) bool {
+	r := &p.rob
+	prod := r.prod[s]
 	if prod == noSeq || prod < p.headSeq {
 		return false
 	}
-	s := p.slot(prod)
-	if !s.valid || s.di.Seq != prod {
+	ps := p.slotIndex(prod)
+	if r.seq[ps] != prod {
 		return true // not yet dispatched (split window)
 	}
-	return !s.memIssued || p.cycle < s.memDone
+	return r.flags[ps]&fMemIssued == 0 || p.cycle < r.memDone[ps]
 }
 
 // issueLoadMem launches the load's memory access: forwarding from the
 // store buffer when the producing store has executed, otherwise a
 // (possibly stale) D-cache access. Under AS the scheduler latency is
 // added in front of the access.
-func (p *Pipeline) issueLoadMem(e *robEntry) {
+func (p *Pipeline) issueLoadMem(s int32) {
+	r := &p.rob
+	seq := r.seq[s]
 	eff := p.cycle
 	if p.cfg.UseAddressScheduler {
 		eff += int64(p.cfg.SchedulerLatency)
 	}
 	var done int64
-	prod := e.di.ProducerSeq
+	prod := r.prod[s]
 	if prod != noSeq && prod >= p.headSeq {
 		// The producing store has not committed: it is either in flight
 		// or (split window) not yet fetched.
-		pe := p.slot(prod)
-		if pe.valid && pe.di.Seq == prod && pe.memIssued {
+		ps := p.slotIndex(prod)
+		if r.seq[ps] == prod && r.flags[ps]&fMemIssued != 0 {
 			// Store buffer forward of the correct value.
-			done = max64(eff, pe.memDone) + 1
-			e.valueSource = prod
-			e.specValue = e.di.LoadVal
+			done = max64(eff, r.memDone[ps]) + 1
+			r.valueSource[s] = prod
+			r.specValue[s] = r.loadVal[s]
 			p.res.Forwards++
-		} else if src := p.youngestExecutedMatch(e.di.Addr, e.di.Seq); src != nil {
+		} else if src := p.youngestExecutedMatch(r.addr[s], seq); src != nilSlot {
 			// Speculative forward from an older (stale) store.
-			done = max64(eff, src.memDone) + 1
-			e.valueSource = src.di.Seq
-			e.specValue = src.di.StoreVal
+			done = max64(eff, r.memDone[src]) + 1
+			r.valueSource[s] = r.seq[src]
+			r.specValue[s] = r.storeVal[src]
 			p.res.Forwards++
 		} else {
 			// Speculative read around the pending producer: the load
 			// obtains the pre-store memory value.
-			done = p.hier.D.Access(e.di.Addr, eff, false)
-			e.valueSource = noSeq
-			e.specValue = p.trace.At(prod).OldVal
+			done = p.hier.D.Access(r.addr[s], eff, false)
+			r.valueSource[s] = noSeq
+			r.specValue[s] = p.trace.At(prod).OldVal
 		}
 	} else {
 		// No in-window producer: architecturally clean access.
-		done = p.hier.D.Access(e.di.Addr, eff, false)
-		e.valueSource = noSeq
-		e.specValue = e.di.LoadVal
+		done = p.hier.D.Access(r.addr[s], eff, false)
+		r.valueSource[s] = noSeq
+		r.specValue[s] = r.loadVal[s]
 	}
-	e.memIssued = true
-	e.memIssue = p.cycle
-	e.memDone = done
-	e.doneCycle = done
-	e.state = stIssued
-	s := p.slotIndex(e.di.Seq)
+	r.set(s, fMemIssued|fIssued)
+	r.memIssue[s] = p.cycle
+	r.memDone[s] = done
+	r.doneCycle[s] = done
 	p.schedule(done, s)
 	// Loads issue out of order; the table keeps per-address chains
 	// sequence-sorted for the violation scan.
-	p.loads.insert(s, e.di.Addr, e.di.Seq)
+	p.loads.insert(s, r.addr[s], seq)
 }
 
-// youngestExecutedMatch returns the youngest executed in-window store
-// older than loadSeq writing addr, or nil.
-func (p *Pipeline) youngestExecutedMatch(addr uint32, loadSeq int64) *robEntry {
+// youngestExecutedMatch returns the window slot of the youngest executed
+// in-window store older than loadSeq writing addr, or nilSlot.
+func (p *Pipeline) youngestExecutedMatch(addr uint32, loadSeq int64) int32 {
 	t := &p.stores
 	b := t.bucket(addr)
+	r := &p.rob
 	for s := t.btail[b]; s != nilSlot; s = t.prev[s] {
 		if t.addr[s] != addr || t.seq[s] >= loadSeq {
 			continue
 		}
-		e := &p.rob[s]
-		if e.valid && e.di.Seq == t.seq[s] && e.memIssued && p.cycle >= e.memDone {
-			return e
+		if r.seq[s] == t.seq[s] && r.flags[s]&fMemIssued != 0 && p.cycle >= r.memDone[s] {
+			return s
 		}
 	}
-	return nil
+	return nilSlot
 }

@@ -66,18 +66,19 @@ func (p *Pipeline) sanitize() {
 // sanTables checks the address tables and store lists against the ROB,
 // in both directions.
 func (p *Pipeline) sanTables() {
+	r := &p.rob
 	// Table -> ROB: an occupied table slot references the live entry of
-	// the right kind occupying that window slot.
+	// the right kind occupying that window slot. A seq match implies the
+	// slot is live (free slots hold noSeq, never a table's seq).
 	for s := 0; s < p.cfg.Window; s++ {
-		e := &p.rob[s]
 		if p.stores.in[s] {
-			if !e.valid || e.di.Seq != p.stores.seq[s] || e.di.Addr != p.stores.addr[s] || !e.isStore {
+			if r.seq[s] != p.stores.seq[s] || r.addr[s] != p.stores.addr[s] || r.flags[s]&fStore == 0 {
 				panic(fmt.Sprintf("mdsan: stores table slot %d (seq %d addr %#x) does not mirror the ROB",
 					s, p.stores.seq[s], p.stores.addr[s]))
 			}
 		}
 		if p.loads.in[s] {
-			if !e.valid || e.di.Seq != p.loads.seq[s] || e.di.Addr != p.loads.addr[s] || !e.isLoad {
+			if r.seq[s] != p.loads.seq[s] || r.addr[s] != p.loads.addr[s] || r.flags[s]&fLoad == 0 {
 				panic(fmt.Sprintf("mdsan: loads table slot %d (seq %d addr %#x) does not mirror the ROB",
 					s, p.loads.seq[s], p.loads.addr[s]))
 			}
@@ -86,21 +87,22 @@ func (p *Pipeline) sanTables() {
 	// ROB -> tables: every in-flight memory op whose address the
 	// hardware knows appears in its table.
 	for seq := p.headSeq; seq < p.dispatchSeq; seq++ {
-		e := p.slot(seq)
-		if !e.valid || e.di.Seq != seq {
+		s := p.slotIndex(seq)
+		if r.seq[s] != seq {
 			continue
 		}
-		s := p.slotIndex(seq)
+		f := r.flags[s]
 		switch {
-		case e.isLoad:
-			if e.memIssued != p.loads.in[s] {
+		case f&fLoad != 0:
+			if (f&fMemIssued != 0) != p.loads.in[s] {
 				panic(fmt.Sprintf("mdsan: load %d memIssued=%v but loads-table presence=%v",
-					seq, e.memIssued, p.loads.in[s]))
+					seq, f&fMemIssued != 0, p.loads.in[s]))
 			}
-		case e.isStore:
-			if p.pendingStores.in[s] == e.completed {
+		case f&fStore != 0:
+			completed := f&fCompleted != 0
+			if p.pendingStores.in[s] == completed {
 				panic(fmt.Sprintf("mdsan: store %d completed=%v but pendingStores presence=%v",
-					seq, e.completed, p.pendingStores.in[s]))
+					seq, completed, p.pendingStores.in[s]))
 			}
 			if p.cfg.UseAddressScheduler {
 				// AS: a dispatched store sits in unpostedStores until
@@ -110,20 +112,20 @@ func (p *Pipeline) sanTables() {
 				switch {
 				case p.unpostedStores.in[s] && p.stores.in[s]:
 					panic(fmt.Sprintf("mdsan: AS store %d is both unposted and posted", seq))
-				case p.unpostedStores.in[s] && e.completed:
+				case p.unpostedStores.in[s] && completed:
 					panic(fmt.Sprintf("mdsan: completed AS store %d still in unpostedStores", seq))
-				case !p.unpostedStores.in[s] && !p.stores.in[s] && !e.completed:
+				case !p.unpostedStores.in[s] && !p.stores.in[s] && !completed:
 					panic(fmt.Sprintf("mdsan: in-flight AS store %d in neither unpostedStores nor stores table", seq))
 				}
-				if p.stores.in[s] && (!e.agenIssued || e.addrPosted > p.cycle) {
+				if p.stores.in[s] && (f&fAgen == 0 || r.addrPosted[s] > p.cycle) {
 					panic(fmt.Sprintf("mdsan: AS store %d posted before its posting time %d (cycle %d)",
-						seq, e.addrPosted, p.cycle))
+						seq, r.addrPosted[s], p.cycle))
 				}
 			} else {
 				// NAS: the address is published exactly at completion.
-				if p.stores.in[s] != e.completed {
+				if p.stores.in[s] != completed {
 					panic(fmt.Sprintf("mdsan: NAS store %d completed=%v but stores-table presence=%v",
-						seq, e.completed, p.stores.in[s]))
+						seq, completed, p.stores.in[s]))
 				}
 			}
 		}
@@ -161,7 +163,7 @@ func (p *Pipeline) sanCandidates() {
 		if !p.cand.has(s) {
 			continue
 		}
-		if !p.rob[s].valid {
+		if !p.rob.live(s) {
 			panic(fmt.Sprintf("mdsan: candidate bitmap holds invalid slot %d", s))
 		}
 		if p.parkedOn[s] != parkNone {
@@ -198,12 +200,10 @@ func (p *Pipeline) sanParking() {
 			continue // parkNone or parkTimer
 		}
 		parked++
-		se := &p.rob[s]
-		if !se.valid {
+		if !p.rob.live(int32(s)) {
 			panic(fmt.Sprintf("mdsan: invalid slot %d is parked on %d", s, q))
 		}
-		qe := &p.rob[q]
-		if !qe.valid {
+		if !p.rob.live(q) {
 			// Continuous window never parks on a hole; the split window
 			// may park on a producer that has not been dispatched yet.
 			if !p.cfg.SplitWindow {
@@ -211,9 +211,9 @@ func (p *Pipeline) sanParking() {
 			}
 			continue
 		}
-		if qe.di.Seq >= se.di.Seq {
+		if p.rob.seq[q] >= p.rob.seq[s] {
 			panic(fmt.Sprintf("mdsan: slot %d (seq %d) parked on younger producer %d (seq %d)",
-				s, se.di.Seq, q, qe.di.Seq))
+				s, p.rob.seq[s], q, p.rob.seq[q]))
 		}
 	}
 	if parked != listed {

@@ -61,9 +61,9 @@ func TestMdsanDetectsWheelMiscount(t *testing.T) {
 func TestMdsanDetectsStaleCandidate(t *testing.T) {
 	p := warmPipeline(t)
 	s := int32(-1)
-	for i := 0; i < p.cfg.Window; i++ {
-		if !p.rob[i].valid {
-			s = int32(i)
+	for i := int32(0); i < int32(p.cfg.Window); i++ {
+		if !p.rob.live(i) {
+			s = i
 			break
 		}
 	}
@@ -127,7 +127,7 @@ func TestMdsanDetectsBrokenWaiterList(t *testing.T) {
 	p := warmPipeline(t)
 	s := int32(-1)
 	for i := int32(0); i < int32(p.cfg.Window); i++ {
-		if p.rob[i].valid && p.parkedOn[i] == parkNone && !p.cand.has(i) {
+		if p.rob.live(i) && p.parkedOn[i] == parkNone && !p.cand.has(i) {
 			s = i
 			break
 		}
@@ -138,7 +138,7 @@ func TestMdsanDetectsBrokenWaiterList(t *testing.T) {
 	// Park on an older valid producer so only the list linkage is wrong.
 	q := int32(-1)
 	for i := int32(0); i < int32(p.cfg.Window); i++ {
-		if i != s && p.rob[i].valid && p.rob[i].di.Seq < p.rob[s].di.Seq {
+		if i != s && p.rob.live(i) && p.rob.seq[i] < p.rob.seq[s] {
 			q = i
 			break
 		}

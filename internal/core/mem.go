@@ -8,23 +8,23 @@ import "mdspec/internal/config"
 // into the disambiguation structures and checking younger speculative
 // loads for memory-order violations.
 func (p *Pipeline) processStoreEvents() {
+	r := &p.rob
 	if len(p.postQ) > 0 {
 		keep := p.postQ[:0]
 		for _, seq := range p.postQ {
-			e := p.slot(seq)
-			if !e.valid || e.di.Seq != seq {
+			s := p.slotIndex(seq)
+			if r.seq[s] != seq {
 				continue // squashed
 			}
-			if p.cycle < e.addrPosted {
+			if p.cycle < r.addrPosted[s] {
 				//md:allocok reuse-append into postQ[:0]; never exceeds the old length
 				keep = append(keep, seq)
 				continue
 			}
 			// The address is now visible to the scheduler: it no longer
 			// blocks AS/NO loads, and matching loads will wait on it.
-			s := p.slotIndex(seq)
 			p.unpostedStores.remove(s, seq)
-			p.stores.insert(s, e.di.Addr, seq)
+			p.stores.insert(s, r.addr[s], seq)
 			p.activity = true
 		}
 		p.postQ = keep
@@ -32,16 +32,16 @@ func (p *Pipeline) processStoreEvents() {
 	if len(p.compQ) > 0 {
 		keep := p.compQ[:0]
 		for _, seq := range p.compQ {
-			e := p.slot(seq)
-			if !e.valid || e.di.Seq != seq || !e.memIssued {
+			s := p.slotIndex(seq)
+			if r.seq[s] != seq || r.flags[s]&fMemIssued == 0 {
 				continue // squashed or selectively invalidated
 			}
-			if p.cycle < e.memDone {
+			if p.cycle < r.memDone[s] {
 				//md:allocok reuse-append into compQ[:0]; never exceeds the old length
 				keep = append(keep, seq)
 				continue
 			}
-			p.completeStore(e)
+			p.completeStore(s)
 			p.activity = true
 		}
 		p.compQ = keep
@@ -50,21 +50,21 @@ func (p *Pipeline) processStoreEvents() {
 
 // completeStore finalizes an executed store: its data is in the store
 // buffer and its address is known to the violation-detection hardware.
-func (p *Pipeline) completeStore(e *robEntry) {
-	seq := e.di.Seq
-	s := p.slotIndex(seq)
-	e.completed = true
+func (p *Pipeline) completeStore(s int32) {
+	r := &p.rob
+	seq := r.seq[s]
+	r.set(s, fCompleted)
 	p.pendingStores.remove(s, seq)
-	if e.barrier {
+	if r.flags[s]&fBarrier != 0 {
 		p.pendingBarriers.remove(s, seq)
 	}
 	if !p.cfg.UseAddressScheduler {
 		// Under AS the address was published at posting time.
-		p.stores.insert(s, e.di.Addr, seq)
+		p.stores.insert(s, r.addr[s], seq)
 	} else {
 		p.unpostedStores.remove(s, seq)
 	}
-	p.checkViolations(e)
+	p.checkViolations(s)
 }
 
 // checkViolations scans younger loads that already performed a memory
@@ -73,8 +73,11 @@ func (p *Pipeline) completeStore(e *robEntry) {
 // conditions apply (§3.4): the load must have read, propagated the value
 // to a dependent, and the value must differ — otherwise the load's value
 // is silently corrected in the store buffer.
-func (p *Pipeline) checkViolations(st *robEntry) {
-	stSeq := st.di.Seq
+func (p *Pipeline) checkViolations(st int32) {
+	r := &p.rob
+	stSeq := r.seq[st]
+	stAddr := r.addr[st]
+	stVal := r.storeVal[st]
 	// Snapshot the matching younger loads before processing them. The
 	// recovery actions below (squashFrom, selectiveInvalidate) remove
 	// loads from the very address chain being walked — including loads
@@ -84,34 +87,34 @@ func (p *Pipeline) checkViolations(st *robEntry) {
 	// is sorted), and every entry is revalidated before processing.
 	t := &p.loads
 	scratch := p.violScratch[:0]
-	b := t.bucket(st.di.Addr)
+	b := t.bucket(stAddr)
 	for s := t.bhead[b]; s != nilSlot; s = t.next[s] {
-		if t.addr[s] == st.di.Addr && t.seq[s] > stSeq {
+		if t.addr[s] == stAddr && t.seq[s] > stSeq {
 			//md:allocok amortized: violScratch grows to the deepest match set and is reused
 			scratch = append(scratch, t.seq[s])
 		}
 	}
 	p.violScratch = scratch
 	for _, ls := range scratch {
-		le := p.slot(ls)
-		if !le.valid || le.di.Seq != ls || !le.memIssued {
+		le := p.slotIndex(ls)
+		if r.seq[le] != ls || r.flags[le]&fMemIssued == 0 {
 			continue
 		}
-		if le.valueSource >= stSeq {
+		if r.valueSource[le] >= stSeq {
 			continue // load already saw this store (or a younger one)
 		}
 		if p.cfg.UseAddressScheduler {
-			if le.propagated && le.specValue != st.di.StoreVal {
+			if r.flags[le]&fPropagated != 0 && r.specValue[le] != stVal {
 				p.squashFrom(le, st)
 				return
 			}
 			// Silent or un-propagated: correct the load in place.
-			le.valueSource = stSeq
-			le.specValue = st.di.StoreVal
-			if !le.propagated {
-				nd := max64(le.memDone, p.cycle+1)
-				le.memDone, le.doneCycle = nd, nd
-				p.schedule(nd, p.slotIndex(ls))
+			r.valueSource[le] = stSeq
+			r.specValue[le] = stVal
+			if r.flags[le]&fPropagated == 0 {
+				nd := max64(r.memDone[le], p.cycle+1)
+				r.memDone[le], r.doneCycle[le] = nd, nd
+				p.schedule(nd, le)
 			}
 			continue
 		}
@@ -136,18 +139,19 @@ func (p *Pipeline) checkViolations(st *robEntry) {
 // consumed its erroneous value are re-executed; independent younger work
 // survives. The load re-forwards the store's value; every transitive
 // consumer is reset to re-issue.
-func (p *Pipeline) selectiveInvalidate(load, st *robEntry) {
+func (p *Pipeline) selectiveInvalidate(load, st int32) {
+	r := &p.rob
 	p.res.Misspeculations++
-	p.trainPredictors(load.di.PC, st.di.PC)
+	p.trainPredictors(r.pc[load], r.pc[st])
 
 	// The load re-executes by forwarding the just-completed store.
-	loadSeq := load.di.Seq
-	load.valueSource = st.di.Seq
-	load.specValue = st.di.StoreVal
-	load.propagated = false
-	nd := max64(p.cycle+1+int64(p.cfg.SquashOverhead), st.memDone+1)
-	load.memDone, load.doneCycle = nd, nd
-	p.schedule(nd, p.slotIndex(loadSeq))
+	loadSeq := r.seq[load]
+	r.valueSource[load] = r.seq[st]
+	r.specValue[load] = r.storeVal[st]
+	r.clear(load, fPropagated)
+	nd := max64(p.cycle+1+int64(p.cfg.SquashOverhead), r.memDone[st]+1)
+	r.memDone[load], r.doneCycle[load] = nd, nd
+	p.schedule(nd, load)
 	p.res.SquashedInsts++ // work redone
 
 	// Transitively reset consumers of invalidated values. The invalid
@@ -156,20 +160,19 @@ func (p *Pipeline) selectiveInvalidate(load, st *robEntry) {
 	// map is allocated.
 	p.curGen++
 	g := p.curGen
-	s0 := p.slotIndex(loadSeq)
-	p.invGen[s0], p.invSeq[s0] = g, loadSeq
+	p.invGen[load], p.invSeq[load] = g, loadSeq
 	for seq := loadSeq + 1; seq < p.dispatchSeq; seq++ {
-		e := p.slot(seq)
-		if !e.valid || e.di.Seq != seq {
+		s := p.slotIndex(seq)
+		if r.seq[s] != seq {
 			continue
 		}
-		depends := p.invalidated(e.dep1, g, loadSeq) || p.invalidated(e.dep2, g, loadSeq) ||
-			(e.isLoad && e.memIssued && p.invalidated(e.valueSource, g, loadSeq))
+		f := r.flags[s]
+		depends := p.invalidated(r.dep1[s], g, loadSeq) || p.invalidated(r.dep2[s], g, loadSeq) ||
+			(f&fLoad != 0 && f&fMemIssued != 0 && p.invalidated(r.valueSource[s], g, loadSeq))
 		if !depends {
 			continue
 		}
-		if p.resetForReexecution(e) {
-			s := p.slotIndex(seq)
+		if p.resetForReexecution(s) {
 			p.invGen[s], p.invSeq[s] = g, seq
 			p.res.SquashedInsts++
 		}
@@ -206,82 +209,79 @@ func (p *Pipeline) trainPredictors(loadPC, storePC uint32) {
 // resetForReexecution rewinds one in-flight instruction so it issues
 // again with corrected inputs. It reports whether the entry actually
 // had produced (possibly wrong) state worth invalidating.
-func (p *Pipeline) resetForReexecution(e *robEntry) bool {
-	d := &e.di
-	s := p.slotIndex(d.Seq)
+func (p *Pipeline) resetForReexecution(s int32) bool {
+	r := &p.rob
+	seq := r.seq[s]
+	f := r.flags[s]
 	switch {
-	case e.isLoad:
-		if !e.agenIssued && !e.memIssued {
+	case f&fLoad != 0:
+		if f&(fAgen|fMemIssued) == 0 {
 			return false // never produced anything wrong
 		}
-		if e.memIssued {
-			p.loads.removeSeq(s, d.Addr, d.Seq)
+		if f&fMemIssued != 0 {
+			p.loads.removeSeq(s, r.addr[s], seq)
 		}
 		// If the base register value was wrong the address regenerates;
 		// the memory phase always redoes.
-		e.agenIssued = false
-		e.addrReady = notYet
-		e.memIssued = false
-		e.memDone = notYet
-		e.doneCycle = notYet
-		e.memIssue = 0
-		e.valueSource = noSeq
-		e.propagated = false
-		e.fdCounted, e.fdFalse = false, false
-		e.couldIssue = notYet
-		e.state = stWaiting
-		p.candInsert(d.Seq)
+		r.clear(s, fAgen|fMemIssued|fIssued|fPropagated|fFdCounted|fFdFalse)
+		r.addrReady[s] = notYet
+		r.memDone[s] = notYet
+		r.doneCycle[s] = notYet
+		r.memIssue[s] = 0
+		r.valueSource[s] = noSeq
+		r.couldIssue[s] = notYet
+		p.candInsert(seq)
 		return true
-	case e.isStore:
-		if !e.agenIssued && !e.memIssued && e.state == stWaiting {
+	case f&fStore != 0:
+		if f&(fAgen|fMemIssued|fIssued) == 0 {
 			return false
 		}
-		if e.completed || p.storePosted(e) {
-			p.stores.removeSeq(s, d.Addr, d.Seq)
+		if f&fCompleted != 0 || p.storePosted(s) {
+			p.stores.removeSeq(s, r.addr[s], seq)
 		}
-		if e.completed {
+		if f&fCompleted != 0 {
 			// It left the pending sets at completion; make it pending
 			// again (stores still in compQ were never removed).
-			p.pendingStores.insert(s, d.Seq)
-			if e.barrier {
-				p.pendingBarriers.insert(s, d.Seq)
+			p.pendingStores.insert(s, seq)
+			if f&fBarrier != 0 {
+				p.pendingBarriers.insert(s, seq)
 			}
-			e.completed = false
+			r.clear(s, fCompleted)
 		}
-		if p.cfg.UseAddressScheduler && e.agenIssued {
-			p.unpostedStores.insert(s, d.Seq)
+		if p.cfg.UseAddressScheduler && f&fAgen != 0 {
+			p.unpostedStores.insert(s, seq)
 		}
-		e.agenIssued = false
-		e.addrReady = notYet
-		e.addrPosted = notYet
-		e.memIssued = false
-		e.memDone = notYet
-		e.doneCycle = notYet
-		e.state = stWaiting
-		p.candInsert(d.Seq)
+		r.clear(s, fAgen|fMemIssued|fIssued)
+		r.addrReady[s] = notYet
+		r.addrPosted[s] = notYet
+		r.memDone[s] = notYet
+		r.doneCycle[s] = notYet
+		p.candInsert(seq)
 		return true
 	default:
-		if e.state == stWaiting {
+		if f&fIssued == 0 {
 			return false
 		}
-		e.state = stWaiting
-		e.doneCycle = notYet
-		p.candInsert(d.Seq)
+		r.clear(s, fIssued)
+		r.doneCycle[s] = notYet
+		p.candInsert(seq)
 		return true
 	}
 }
 
 // storePosted reports whether an AS store's address has been published.
-func (p *Pipeline) storePosted(e *robEntry) bool {
-	return p.cfg.UseAddressScheduler && e.agenIssued && p.cycle >= e.addrPosted
+func (p *Pipeline) storePosted(s int32) bool {
+	return p.cfg.UseAddressScheduler && p.rob.flags[s]&fAgen != 0 && p.cycle >= p.rob.addrPosted[s]
 }
 
 // squashFrom performs squash invalidation: the misspeculated load and
 // every younger instruction are thrown away, fetch rewinds to the load,
 // and the active dependence predictor is trained with the violation.
-func (p *Pipeline) squashFrom(load, st *robEntry) {
-	loadSeq := load.di.Seq
-	loadPC, storePC := load.di.PC, st.di.PC
+// The store slot st is older than the squash point and survives.
+func (p *Pipeline) squashFrom(load, st int32) {
+	r := &p.rob
+	loadSeq := r.seq[load]
+	loadPC, storePC := r.pc[load], r.pc[st]
 	p.res.Misspeculations++
 	p.squashes++
 	p.trainPredictors(loadPC, storePC)
@@ -291,45 +291,45 @@ func (p *Pipeline) squashFrom(load, st *robEntry) {
 	// candidate queue and off whatever waiter list it parked on (the
 	// producer may be older than the squash point and survive).
 	for seq := loadSeq; seq < p.dispatchSeq; seq++ {
-		e := p.slot(seq)
-		if !e.valid || e.di.Seq != seq {
+		s := p.slotIndex(seq)
+		if r.seq[s] != seq {
 			continue
 		}
 		p.res.SquashedInsts++
-		d := &e.di
-		s := p.slotIndex(seq)
-		if e.isMem {
+		f := r.flags[s]
+		if f&fMem != 0 {
 			p.memInFlight--
 		}
 		switch {
-		case e.isStore:
+		case f&fStore != 0:
 			p.pendingStores.remove(s, seq)
 			p.unpostedStores.remove(s, seq)
-			if e.barrier {
+			if f&fBarrier != 0 {
 				p.pendingBarriers.remove(s, seq)
 			}
-			p.stores.removeSeq(s, d.Addr, seq)
-		case e.isLoad:
-			if e.memIssued {
-				p.loads.removeSeq(s, d.Addr, seq)
+			p.stores.removeSeq(s, r.addr[s], seq)
+		case f&fLoad != 0:
+			if f&fMemIssued != 0 {
+				p.loads.removeSeq(s, r.addr[s], seq)
 			}
 		}
 		if !p.scanMode {
 			p.unpark(s)
 			p.cand.clear(s)
 		}
-		e.valid = false
+		r.seq[s] = noSeq
 	}
 
 	// Drop squashed front-end instructions and rewind fetch.
 	keep := p.fetchQ[:0]
-	for _, rec := range p.fetchQ {
-		if rec.seq < loadSeq {
+	for i := p.fetchHead; i < len(p.fetchQ); i++ {
+		if p.fetchQ[i].seq < loadSeq {
 			//md:allocok reuse-append into fetchQ[:0]; never exceeds the old length
-			keep = append(keep, rec)
+			keep = append(keep, p.fetchQ[i])
 		}
 	}
 	p.fetchQ = keep
+	p.fetchHead = 0
 
 	resume := p.cycle + int64(p.cfg.SquashOverhead)
 	if p.cfg.SplitWindow {

@@ -38,84 +38,149 @@ import (
 	"mdspec/internal/stats"
 )
 
-// entryState tracks an instruction's progress through the window.
-type entryState uint8
-
-const (
-	// stWaiting: dispatched, operands not all ready / not yet issued.
-	stWaiting entryState = iota
-	// stIssued: executing; result at doneCycle.
-	stIssued
-	// stDone: result available.
-	stDone
-)
-
 // noSeq marks "no sequence number".
 const noSeq int64 = -1
 
-// robEntry is one in-flight instruction (an RUU entry).
-type robEntry struct {
-	di    emu.DynInst // copied from the trace (stable across compaction)
-	state entryState
-
-	// Opcode predicates and execution class, decoded once at dispatch:
-	// the issue and commit stages consult them on every examination.
-	isLoad, isStore, isMem, isBranch bool
-	class                            isa.Class
-	latency                          int64
-
-	issueCycle int64
-	doneCycle  int64
-
-	// Register dependences: sequence numbers of producing instructions,
-	// or noSeq when the operand comes from the register file.
-	dep1, dep2 int64
+// Per-entry flag bits, packed one word per window slot in robCols.flags.
+// The low bit is the only mutable scheduling state (waiting vs issued);
+// the opcode predicates and policy annotations are decoded once at
+// dispatch and read on every examination, so keeping them in one word
+// turns the issue stage's predicate cascade into a couple of masked
+// loads instead of a scatter of bool columns.
+const (
+	// fIssued: executing (or executed); result at doneCycle. Clear means
+	// the old stWaiting — dispatched, not all uops issued.
+	fIssued uint32 = 1 << iota
+	fLoad
+	fStore
+	fMem
+	fBranch
+	fJR    // indirect jump (the only opcode identity issue still needs)
+	fTaken // architectural branch direction
 
 	// Memory-operation bookkeeping.
-	agenIssued bool  // address-generation uop has issued
-	addrReady  int64 // cycle the effective address is available (else notYet)
-	addrPosted int64 // AS: cycle the address is visible to the scheduler
-	memIssued  bool  // load: memory access launched; store: executed into buffer
-	memIssue   int64 // cycle the memory uop issued
-	memDone    int64 // load: data available; store: buffer entry valid
+	fAgen      // address-generation uop has issued
+	fMemIssued // load: memory access launched; store: executed into buffer
+	fCompleted // store completion event processed (left the pending sets)
 
 	// Load speculation tracking.
-	valueSource int64 // seq of the store the load's value came from (noSeq = memory)
-	specValue   int64 // the value the load actually obtained
-	propagated  bool  // a dependent instruction has consumed the load's value
+	fPropagated // a dependent instruction has consumed the load's value
 
 	// Policy annotations (set at dispatch).
-	waitAll    bool   // SEL: predicted dependent, wait for all prior stores
-	barrier    bool   // STORE: this store is a predicted barrier
-	hasSyn     bool   // SYNC/SSET: synchronize via synonym
-	synonym    uint32 // the synonym / store-set ID
-	syncOnSeq  int64  // load: closest preceding producer store to wait for (noSeq = none)
-	storeIsSyn bool   // store: marked as a synonym producer
+	fWaitAll    // SEL: predicted dependent, wait for all prior stores
+	fBarrier    // STORE: this store is a predicted barrier
+	fHasSyn     // SYNC/SSET: synchronize via synonym
+	fStoreIsSyn // store: marked as a synonym producer
 
 	// Branch bookkeeping.
-	bpHist   uint32
-	bpPred   bool // predicted direction
-	bpWrong  bool // misprediction (direction or target)
-	bpIsCond bool
+	fBpPred   // predicted direction
+	fBpWrong  // misprediction (direction or target)
+	fBpIsCond // conditional branch
 
 	// False-dependence accounting (NO policies).
-	couldIssue int64 // cycle the load could otherwise have accessed memory
-	fdCounted  bool
-	fdFalse    bool
+	fFdCounted
+	fFdFalse
+)
 
-	// completed marks a store whose completion event has been processed
-	// (it left the pending sets and entered the disambiguation tables).
-	completed bool
+// robCols is the instruction window (RUU) in structure-of-arrays form:
+// one dense column per field, indexed by window slot. The issue stage
+// touches only the columns a given check needs (liveness is one int64
+// compare, the predicate cascade one uint32 load), so a window walk
+// streams a few cache lines per column instead of dragging a ~200-byte
+// robEntry struct through the cache per entry, and dispatch writes
+// columns instead of a duffcopy of the whole struct.
+type robCols struct {
+	// seq is the occupying sequence number, or noSeq for a free slot.
+	// It replaces the AoS valid flag + di.Seq pair: every liveness check
+	// ("is seq still dispatched here?") is a single column compare.
+	seq []int64
 
-	// valid marks the slot as occupied by this entry (split-window mode
-	// dispatches out of order, leaving holes).
-	valid bool
+	// Packed predicates and scheduling state; see the f* bits above.
+	flags []uint32
+
+	// class is the execution class (functional unit + latency), decoded
+	// at dispatch.
+	class []isa.Class
+
+	// Cycle columns (notYet until known).
+	doneCycle  []int64 // result available
+	addrReady  []int64 // effective address available
+	addrPosted []int64 // AS: address visible to the scheduler
+	memIssue   []int64 // cycle the memory uop issued
+	memDone    []int64 // load: data available; store: buffer entry valid
+	couldIssue []int64 // cycle the load could otherwise have accessed memory
+
+	// Dependence columns: producer sequence numbers (noSeq = none).
+	dep1, dep2  []int64
+	prod        []int64 // architectural producer store (oracle/fd accounting)
+	valueSource []int64 // seq of the store the load's value came from (noSeq = memory)
+	syncOnSeq   []int64 // load: closest preceding synonym store to wait for
+
+	// Value columns (from the trace, needed for AS value comparison and
+	// store-buffer forwarding without re-touching the trace).
+	specValue []int64 // the value the load actually obtained
+	loadVal   []int64 // architectural load result
+	storeVal  []int64 // architectural store value
+
+	// Architectural scalars copied from the trace at dispatch.
+	pc, addr, nextPC []uint32
+	synonym          []uint32 // SYNC/SSET synonym or store-set ID
+	bpHist           []uint32 // predictor history at prediction time
 }
+
+func (r *robCols) init(w int) {
+	r.seq = make([]int64, w)
+	for i := range r.seq {
+		r.seq[i] = noSeq
+	}
+	r.flags = make([]uint32, w)
+	r.class = make([]isa.Class, w)
+	r.doneCycle = make([]int64, w)
+	r.addrReady = make([]int64, w)
+	r.addrPosted = make([]int64, w)
+	r.memIssue = make([]int64, w)
+	r.memDone = make([]int64, w)
+	r.couldIssue = make([]int64, w)
+	r.dep1 = make([]int64, w)
+	r.dep2 = make([]int64, w)
+	r.prod = make([]int64, w)
+	r.valueSource = make([]int64, w)
+	r.syncOnSeq = make([]int64, w)
+	r.specValue = make([]int64, w)
+	r.loadVal = make([]int64, w)
+	r.storeVal = make([]int64, w)
+	r.pc = make([]uint32, w)
+	r.addr = make([]uint32, w)
+	r.nextPC = make([]uint32, w)
+	r.synonym = make([]uint32, w)
+	r.bpHist = make([]uint32, w)
+}
+
+// live reports whether slot s holds a dispatched, in-flight instruction.
+//
+//md:hotpath
+func (r *robCols) live(s int32) bool { return r.seq[s] != noSeq }
+
+// has reports whether any of the flag bits f are set on slot s.
+//
+//md:hotpath
+func (r *robCols) has(s int32, f uint32) bool { return r.flags[s]&f != 0 }
+
+// set sets the flag bits f on slot s.
+//
+//md:hotpath
+func (r *robCols) set(s int32, f uint32) { r.flags[s] |= f }
+
+// clear clears the flag bits f on slot s.
+//
+//md:hotpath
+func (r *robCols) clear(s int32, f uint32) { r.flags[s] &^= f }
 
 const notYet int64 = 1 << 62
 
 // fetchRec is an instruction moving through the front end.
 type fetchRec struct {
+	di       emu.DynInst // decoded at fetch; dispatch reads it without re-decoding
 	seq      int64
 	ready    int64 // dispatchable at this cycle
 	isMem    bool  // decoded at fetch, for the dispatch LSQ check
@@ -140,7 +205,7 @@ type Pipeline struct {
 	ssets *mdp.StoreSets
 
 	cycle int64
-	rob   []robEntry
+	rob   robCols
 
 	headSeq     int64 // oldest in-flight (next to commit)
 	dispatchSeq int64 // next sequence number to dispatch
@@ -148,7 +213,14 @@ type Pipeline struct {
 	traceEnded  bool  // the program's end has been observed
 	traceLen    int64 // exact dynamic length, valid once traceEnded
 
-	fetchQ []fetchRec
+	// fetchQ holds fetched-but-undispatched instructions; the live
+	// records are fetchQ[fetchHead:]. The continuous window consumes the
+	// queue strictly in order, so dispatch advances the cursor instead of
+	// compacting the slice every cycle (fetch records are wide — they
+	// carry the decoded instruction). Split-window dispatch skips stalled
+	// records out of order and still compacts, leaving fetchHead at 0.
+	fetchQ    []fetchRec
+	fetchHead int
 
 	// Fetch stall state.
 	blockedOnBranch int64 // seq of unresolved mispredicted branch (noSeq = none)
@@ -271,10 +343,10 @@ func New(cfg config.Machine, trace emu.Stream) (*Pipeline, error) {
 		trace:           trace,
 		hier:            h,
 		bp:              bpred.New(bpCfg),
-		rob:             make([]robEntry, cfg.Window),
 		blockedOnBranch: noSeq,
 	}
 	w := cfg.Window
+	p.rob.init(w)
 	p.stores.init(w)
 	p.loads.init(w)
 	p.pendingStores.init(w)
@@ -340,20 +412,12 @@ func (p *Pipeline) Hierarchy() *cache.Hierarchy { return p.hier }
 // is validated against. Must be called before the first cycle runs.
 func (p *Pipeline) SetScanScheduler(on bool) { p.scanMode = on }
 
-func (p *Pipeline) slot(seq int64) *robEntry {
-	if p.slotMask != 0 {
-		return &p.rob[seq&p.slotMask]
-	}
-	return &p.rob[seq%int64(p.cfg.Window)]
-}
-
 // windowHas reports whether seq is currently dispatched and in-flight.
 func (p *Pipeline) windowHas(seq int64) bool {
 	if seq < p.headSeq || seq >= p.dispatchSeq {
 		return false
 	}
-	e := p.slot(seq)
-	return e.valid && e.di.Seq == seq
+	return p.rob.seq[p.slotIndex(seq)] == seq
 }
 
 // Run simulates until maxInsts instructions have committed (or the trace
@@ -396,13 +460,15 @@ func (p *Pipeline) captureMemStats() {
 // expects anything to happen. It runs once, on the failure path only,
 // so readability beats allocation discipline here.
 func (p *Pipeline) deadlockSnapshot() string {
+	r := &p.rob
 	var b strings.Builder
 	fmt.Fprintf(&b, "  cycle=%d scanMode=%v window: head=%d dispatch=%d occupancy=%d/%d\n",
 		p.cycle, p.scanMode, p.headSeq, p.dispatchSeq, p.dispatchSeq-p.headSeq, p.cfg.Window)
-	if e := p.slot(p.headSeq); e.valid && e.di.Seq == p.headSeq {
+	if hs := p.slotIndex(p.headSeq); r.seq[hs] == p.headSeq {
+		f := r.flags[hs]
 		fmt.Fprintf(&b, "  head seq=%d load=%v store=%v branch=%v agen=%v memIssued=%v completed=%v addrReady=%d memDone=%d dep1=%d dep2=%d parkedOn=%d\n",
-			p.headSeq, e.isLoad, e.isStore, e.isBranch, e.agenIssued, e.memIssued,
-			e.completed, e.addrReady, e.memDone, e.dep1, e.dep2, p.parkedOn[p.slotIndex(p.headSeq)])
+			p.headSeq, f&fLoad != 0, f&fStore != 0, f&fBranch != 0, f&fAgen != 0, f&fMemIssued != 0,
+			f&fCompleted != 0, r.addrReady[hs], r.memDone[hs], r.dep1[hs], r.dep2[hs], p.parkedOn[hs])
 	} else {
 		fmt.Fprintf(&b, "  head seq=%d not dispatched (window empty or hole)\n", p.headSeq)
 	}
@@ -421,19 +487,19 @@ func (p *Pipeline) deadlockSnapshot() string {
 		if parked++; parked > maxParked {
 			continue
 		}
-		e := &p.rob[s]
+		f := r.flags[s]
 		on := "timer"
 		if q >= 0 {
-			on = fmt.Sprintf("slot %d (seq %d)", q, p.rob[q].di.Seq)
+			on = fmt.Sprintf("slot %d (seq %d)", q, r.seq[q])
 		}
 		fmt.Fprintf(&b, "  parked: slot %d seq=%d load=%v store=%v on %s\n",
-			s, e.di.Seq, e.isLoad, e.isStore, on)
+			s, r.seq[s], f&fLoad != 0, f&fStore != 0, on)
 	}
 	if parked > maxParked {
 		fmt.Fprintf(&b, "  ... and %d more parked slots\n", parked-maxParked)
 	}
 	fmt.Fprintf(&b, "  parked=%d pendingStores=%d unpostedStores=%d fetchQ=%d postQ=%d compQ=%d",
-		parked, p.pendingStores.n, p.unpostedStores.n, len(p.fetchQ), len(p.postQ), len(p.compQ))
+		parked, p.pendingStores.n, p.unpostedStores.n, len(p.fetchQ)-p.fetchHead, len(p.postQ), len(p.compQ))
 	return b.String()
 }
 

@@ -191,7 +191,7 @@ func (p *Pipeline) resetStats() {
 // clean (everything fetched has committed).
 func (p *Pipeline) drainWindow(maxCycles int64) error {
 	p.draining = true
-	for p.headSeq < p.dispatchSeq || len(p.fetchQ) > 0 {
+	for p.headSeq < p.dispatchSeq || len(p.fetchQ) > p.fetchHead {
 		p.step()
 		if p.cycle > maxCycles {
 			p.draining = false

@@ -117,6 +117,17 @@ func (l *seqList) empty() bool { return l.head == nilSlot }
 // minSeq returns the oldest member; the list must be non-empty.
 func (l *seqList) minSeq() int64 { return l.seq[l.head] }
 
+// youngestBelow returns the slot of the youngest member with seq
+// strictly below bound, or nilSlot. Entries arrive mostly in program
+// order, so the walk from the tail is usually a step or two.
+func (l *seqList) youngestBelow(bound int64) int32 {
+	at := l.tail
+	for at != nilSlot && l.seq[at] >= bound {
+		at = l.prev[at]
+	}
+	return at
+}
+
 // addrTable is an intrusive hash table of in-window memory operations
 // keyed by word address. Each window slot appears at most once; bucket
 // chains are kept in ascending sequence order, so violation checks walk
@@ -448,14 +459,14 @@ func (p *Pipeline) processWakeups() {
 func (p *Pipeline) wake(s int32) {
 	if p.parkedOn[s] == parkTimer {
 		p.parkedOn[s] = parkNone
-		if p.rob[s].valid {
+		if p.rob.live(s) {
 			p.cand.set(s)
 		}
 	}
 	for w := p.wHead[s]; w != nilSlot; {
 		nw := p.wNext[w]
 		p.parkedOn[w] = parkNone
-		if p.rob[w].valid {
+		if p.rob.live(w) {
 			p.cand.set(w)
 		}
 		w = nw
@@ -480,8 +491,8 @@ func (p *Pipeline) nextEventCycle() int64 {
 	} else if p.fetchResumeAt >= p.cycle && p.fetchResumeAt < t {
 		t = p.fetchResumeAt
 	}
-	if len(p.fetchQ) > 0 {
-		if r := p.fetchQ[0].ready; r >= p.cycle && r < t {
+	if len(p.fetchQ) > p.fetchHead {
+		if r := p.fetchQ[p.fetchHead].ready; r >= p.cycle && r < t {
 			t = r
 		}
 	}
@@ -502,11 +513,11 @@ func (p *Pipeline) trySkip() {
 		return
 	}
 	skipped := target - p.cycle
-	e := p.slot(p.headSeq)
+	s := p.slotIndex(p.headSeq)
 	switch {
-	case !e.valid || e.di.Seq != p.headSeq:
+	case p.rob.seq[s] != p.headSeq:
 		p.res.StallEmpty += skipped
-	case e.isMem:
+	case p.rob.flags[s]&fMem != 0:
 		p.res.StallMem += skipped
 	default:
 		p.res.StallExec += skipped

@@ -84,33 +84,35 @@ func TestTwoViolatingLoadsSameAddress(t *testing.T) {
 // (loads at memory issue; stores at completion under NAS, at address
 // posting under AS; pending stores until completion).
 func (p *Pipeline) checkAddrMapsMirrorROB() error {
+	r := &p.rob
 	for seq := p.headSeq; seq < p.dispatchSeq; seq++ {
-		e := p.slot(seq)
-		if !e.valid || e.di.Seq != seq {
+		s := p.slotIndex(seq)
+		if r.seq[s] != seq {
 			continue
 		}
-		s := p.slotIndex(seq)
+		f := r.flags[s]
 		switch {
-		case e.isLoad:
-			want := e.memIssued
-			got := p.loads.in[s] && p.loads.seq[s] == seq && p.loads.addr[s] == e.di.Addr
+		case f&fLoad != 0:
+			want := f&fMemIssued != 0
+			got := p.loads.in[s] && p.loads.seq[s] == seq && p.loads.addr[s] == r.addr[s]
 			if got != want {
 				return fmt.Errorf("load %d: in loads table %v, memIssued %v", seq, got, want)
 			}
-		case e.isStore:
-			want := e.completed
+		case f&fStore != 0:
+			completed := f&fCompleted != 0
+			want := completed
 			if p.cfg.UseAddressScheduler {
 				// Posting fires in processStoreEvents at the start of the
 				// cycle after addrPosted is reached, so a store whose
 				// posting time equals the current cycle is not visible yet.
-				want = e.agenIssued && e.addrPosted < p.cycle
+				want = f&fAgen != 0 && r.addrPosted[s] < p.cycle
 			}
-			got := p.stores.in[s] && p.stores.seq[s] == seq && p.stores.addr[s] == e.di.Addr
+			got := p.stores.in[s] && p.stores.seq[s] == seq && p.stores.addr[s] == r.addr[s]
 			if got != want {
 				return fmt.Errorf("store %d: in stores table %v, want %v", seq, got, want)
 			}
-			if gotPend := p.pendingStores.in[s]; gotPend != !e.completed {
-				return fmt.Errorf("store %d: in pendingStores %v, completed %v", seq, gotPend, e.completed)
+			if gotPend := p.pendingStores.in[s]; gotPend != !completed {
+				return fmt.Errorf("store %d: in pendingStores %v, completed %v", seq, gotPend, completed)
 			}
 		}
 	}

@@ -296,3 +296,44 @@ func TestTraceEndsAtHalt(t *testing.T) {
 		t.Fatal("trace should end after HALT")
 	}
 }
+
+// TestTraceReleaseShrinks pins post-Release memory: after deep
+// speculation grows the buffer far beyond the live window, releasing
+// the dead prefix must also give the capacity back (shrink to ~2× the
+// live suffix) instead of holding the high-water mark forever.
+func TestTraceReleaseShrinks(t *testing.T) {
+	b := prog.NewBuilder()
+	b.Label("loop")
+	b.Addi(isa.R1, isa.R1, 1)
+	b.J("loop")
+	tr := NewTrace(New(b.MustProgram()))
+	if tr.At(99_999) == nil {
+		t.Fatal("trace should extend to 100k")
+	}
+	grown := cap(tr.buf)
+	if grown < 100_000 {
+		t.Fatalf("buffer did not grow: cap %d", grown)
+	}
+	tr.Release(99_900) // 100 live entries out of >=100k capacity
+	if got := cap(tr.buf); got > 4*traceMinCap {
+		t.Errorf("cap after release = %d entries, want <= %d (was %d)", got, 4*traceMinCap, grown)
+	}
+	// The stream must be unaffected: live suffix intact, extension works.
+	if d := tr.At(99_950); d == nil || d.Seq != 99_950 {
+		t.Fatal("live entry lost by shrink")
+	}
+	if d := tr.At(100_500); d == nil || d.Seq != 100_500 {
+		t.Fatal("extension after shrink failed")
+	}
+	// A window-sized buffer must NOT shrink: releasing most of a small
+	// buffer keeps its capacity (no grow/shrink thrash in steady state).
+	small := NewTrace(New(b.MustProgram()))
+	if small.At(2*traceMinCap-1) == nil {
+		t.Fatal("small trace should extend")
+	}
+	before := cap(small.buf)
+	small.Release(2*traceMinCap - 10)
+	if got := cap(small.buf); got != before {
+		t.Errorf("small buffer shrank: cap %d -> %d", before, got)
+	}
+}

@@ -1,0 +1,229 @@
+package emu
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mdspec/internal/isa"
+	"mdspec/internal/prog"
+)
+
+// compareStreams replays both streams in lockstep and fails on the
+// first differing record. It returns the common length.
+func compareStreams(t *testing.T, label string, want, got Stream, limit int64) int64 {
+	t.Helper()
+	var n int64
+	for ; limit <= 0 || n < limit; n++ {
+		w := want.At(n)
+		g := got.At(n)
+		if (w == nil) != (g == nil) {
+			t.Fatalf("%s: seq %d: want nil=%v, got nil=%v", label, n, w == nil, g == nil)
+		}
+		if w == nil {
+			break
+		}
+		if !reflect.DeepEqual(*w, *g) {
+			t.Fatalf("%s: seq %d:\nwant %+v\ngot  %+v", label, n, *w, *g)
+		}
+		want.Release(n - 64)
+	}
+	return n
+}
+
+// escapeProgram builds a stream whose register and memory dependences
+// span more than 2^16 dynamic instructions, forcing the uint16 distance
+// columns through the escape side table.
+func escapeProgram() *prog.Program {
+	b := prog.NewBuilder()
+	arena := b.AllocAligned(8, 64)
+	b.Li(isa.R1, int64(arena)) // R1 written once, read ~140k insts later
+	b.Li(isa.R9, 7)
+	b.Sw(isa.R9, isa.R1, 0) // producer store, ~140k insts before the load
+	b.Li(isa.R2, 70_000)
+	b.Label("spin")
+	b.Addi(isa.R2, isa.R2, -1)
+	b.Bne(isa.R2, isa.R0, "spin")
+	b.Lw(isa.R3, isa.R1, 0) // Dep1Seq (R1) and ProducerSeq both escape
+	b.Sw(isa.R3, isa.R1, 0) // Dep2Seq short, Dep1Seq (R1) escapes
+	b.Halt()
+	return b.MustProgram()
+}
+
+func TestColumnarEscapeDistances(t *testing.T) {
+	p := escapeProgram()
+	tr := NewTrace(New(p))
+	rec := NewRecording(New(p))
+	n := compareStreams(t, "escape", tr, rec.NewReplay(), 0)
+	// The point of the program is to exercise the escape table; make
+	// sure it actually did.
+	var escapes int
+	for _, c := range rec.chunks {
+		escapes += len(c.escKey)
+	}
+	if escapes == 0 {
+		t.Fatalf("escapeProgram recorded %d insts without touching the escape table", n)
+	}
+}
+
+// recordToFile records the whole program and serializes it.
+func recordToFile(t *testing.T, p *prog.Program, path string) *Recording {
+	t.Helper()
+	rec := NewRecording(New(p))
+	if !rec.Complete(1 << 22) {
+		t.Fatalf("program did not halt within the completion bound")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestRecordingFileRoundTrip serializes a complete recording, maps it
+// back, and requires the mapped replay to match a direct Trace record
+// for record — including the escape table and the frontier NextPC.
+func TestRecordingFileRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		prog *prog.Program
+	}{
+		{"loop", loopProgram(3000)},
+		{"escape", escapeProgram()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "bench.mdrec")
+			rec := recordToFile(t, tc.prog, path)
+			fr, err := OpenRecordingFile(path, tc.prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fr.Close()
+			if fr.Len() != rec.Len() {
+				t.Fatalf("mapped Len() = %d, recording has %d", fr.Len(), rec.Len())
+			}
+			n := compareStreams(t, tc.name, NewTrace(New(tc.prog)), fr.NewReplay(), 0)
+			if n != rec.Len() {
+				t.Fatalf("mapped replay ended at %d, want %d", n, rec.Len())
+			}
+			// The file deliberately beats the old 88 B/inst AoS layout.
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bpi := float64(st.Size()) / float64(n); bpi > 24 {
+				t.Errorf("recording file costs %.1f bytes/inst, want <= 24", bpi)
+			}
+		})
+	}
+}
+
+// TestRecordingFileRejectsDamage mirrors the journal's torn-tail
+// handling: a truncated or bit-flipped recording file must fail to open
+// with ErrCorruptRecording (never replay garbage), and a recording of a
+// different program must be rejected as a mismatch.
+func TestRecordingFileRejectsDamage(t *testing.T) {
+	p := loopProgram(3000)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.mdrec")
+	recordToFile(t, p, path)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	write := func(t *testing.T, b []byte) string {
+		t.Helper()
+		p := filepath.Join(t.TempDir(), "damaged.mdrec")
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	t.Run("torn-tail", func(t *testing.T) {
+		for _, keep := range []int{len(blob) - 1, len(blob) / 2, recHeaderSize + 4, recHeaderSize, 10, 0} {
+			if _, err := OpenRecordingFile(write(t, blob[:keep]), p); !errors.Is(err, ErrCorruptRecording) {
+				t.Errorf("truncated to %d bytes: err = %v, want ErrCorruptRecording", keep, err)
+			}
+		}
+	})
+	t.Run("bit-flip", func(t *testing.T) {
+		for _, pos := range []int{recHeaderSize + 1, len(blob) / 2, len(blob) - 2} {
+			mut := bytes.Clone(blob)
+			mut[pos] ^= 0x40
+			if _, err := OpenRecordingFile(write(t, mut), p); !errors.Is(err, ErrCorruptRecording) {
+				t.Errorf("flip at %d: err = %v, want ErrCorruptRecording", pos, err)
+			}
+		}
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		mut := bytes.Clone(blob)
+		mut[0] = 'X'
+		if _, err := OpenRecordingFile(write(t, mut), p); !errors.Is(err, ErrCorruptRecording) {
+			t.Errorf("bad magic: err = %v, want ErrCorruptRecording", err)
+		}
+	})
+	t.Run("wrong-program", func(t *testing.T) {
+		other := loopProgram(2999)
+		if _, err := OpenRecordingFile(path, other); !errors.Is(err, ErrRecordingMismatch) {
+			t.Errorf("wrong program: err = %v, want ErrRecordingMismatch", err)
+		}
+	})
+	t.Run("incomplete-refused", func(t *testing.T) {
+		rec := NewRecording(New(loopProgram(3000)))
+		rec.Record(100)
+		if _, err := rec.WriteTo(bytes.NewBuffer(nil)); err == nil {
+			t.Error("WriteTo accepted an incomplete recording")
+		}
+	})
+}
+
+// TestSealedPrefixRecording pins the sealed-prefix mode used by the
+// runner's on-disk cache: a recording sealed mid-program replays
+// identically inside the seal, and a read past the seal panics loudly
+// instead of masquerading as the program's end.
+func TestSealedPrefixRecording(t *testing.T) {
+	p := loopProgram(100_000) // far longer than the sealed horizon
+	rec := NewRecording(New(p))
+	rec.Record(10_000)
+	path := filepath.Join(t.TempDir(), "prefix.mdrec")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.WriteSealedTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := OpenRecordingFile(path, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+	if !fr.Prefix() {
+		t.Fatal("sealed file not marked as a prefix")
+	}
+	if fr.Len() < 10_000 {
+		t.Fatalf("sealed at %d, want >= 10000", fr.Len())
+	}
+	compareStreams(t, "prefix", NewTrace(New(p)), fr.NewReplay(), fr.Len())
+
+	defer func() {
+		if recover() == nil {
+			t.Error("reading past the seal should panic, not report end-of-program")
+		}
+	}()
+	fr.NewReplay().At(fr.Len())
+}

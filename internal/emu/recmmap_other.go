@@ -1,0 +1,12 @@
+//go:build !unix
+
+package emu
+
+import "os"
+
+// mapFile on platforms without a usable mmap syscall reads the file
+// into aligned private memory; sharing between processes is lost but
+// the typed-view decode path is identical.
+func mapFile(f *os.File, size int64) ([]byte, func() error, bool, error) {
+	return readFileAligned(f, size)
+}

@@ -1,0 +1,22 @@
+//go:build unix
+
+package emu
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file read-only so every process opening the same
+// recording shares one physical copy through the page cache. If the
+// kernel refuses (exotic filesystems, size 0), it falls back to reading
+// the file into aligned private memory.
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, mmapped bool, err error) {
+	if size > 0 && size <= int64(int(^uint(0)>>1)) {
+		b, merr := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+		if merr == nil {
+			return b, func() error { return syscall.Munmap(b) }, true, nil
+		}
+	}
+	return readFileAligned(f, size)
+}

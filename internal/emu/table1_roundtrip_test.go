@@ -1,0 +1,64 @@
+package emu_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mdspec/internal/emu"
+	"mdspec/internal/workload"
+)
+
+// TestColumnarRoundTripTable1 is the property test over the full
+// benchmark suite: for every Table 1 analog, a delta-encoded columnar
+// recording must replay a stream DeepEqual to the direct (uncompressed)
+// Trace. It lives in an external test package because workload itself
+// imports emu.
+func TestColumnarRoundTripTable1(t *testing.T) {
+	horizon := int64(20_000)
+	if testing.Short() {
+		horizon = 4_000
+	}
+	for _, name := range workload.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p := workload.MustBuild(name)
+			tr := emu.NewTrace(emu.New(p))
+			rp := emu.NewRecording(emu.New(p)).NewReplay()
+			var n int64
+			for ; n < horizon; n++ {
+				want := tr.At(n)
+				got := rp.At(n)
+				if (want == nil) != (got == nil) {
+					t.Fatalf("seq %d: trace nil=%v, replay nil=%v", n, want == nil, got == nil)
+				}
+				if want == nil {
+					break
+				}
+				if !reflect.DeepEqual(*want, *got) {
+					t.Fatalf("seq %d:\nwant %+v\ngot  %+v", n, *want, *got)
+				}
+				tr.Release(n - 64)
+			}
+			if n == 0 {
+				t.Fatalf("%s produced no instructions", name)
+			}
+		})
+	}
+}
+
+// TestRecordingFootprint pins the columnar layout's headline number:
+// the in-memory recording must stay at or below 24 bytes/inst (the old
+// array-of-DynInst chunks cost ~88).
+func TestRecordingFootprint(t *testing.T) {
+	p := workload.MustBuild("126.gcc")
+	rec := emu.NewRecording(emu.New(p))
+	rec.Record(50_000)
+	n := rec.Len()
+	if n < 50_000 {
+		t.Fatalf("recorded only %d insts", n)
+	}
+	if bpi := float64(rec.SizeBytes()) / float64(n); bpi > 24 {
+		t.Errorf("recording costs %.1f bytes/inst in memory, want <= 24", bpi)
+	}
+}

@@ -27,7 +27,7 @@ type Trace struct {
 // NewTrace returns a Trace over m. The machine must not be stepped
 // directly once it is owned by a Trace.
 func NewTrace(m *Machine) *Trace {
-	return &Trace{m: m, buf: make([]DynInst, 0, 1024)}
+	return &Trace{m: m, buf: make([]DynInst, 0, traceMinCap)}
 }
 
 // At returns the dynamic instruction with sequence number seq, extending
@@ -68,8 +68,28 @@ func (t *Trace) Release(seq int64) {
 		remaining := copy(t.buf, t.buf[n:])
 		t.buf = t.buf[:remaining]
 		t.base = seq
+		// A squash can leave a buffer grown far beyond the live window
+		// (deep speculation followed by a rewind). Once the live suffix
+		// drops below a quarter of a large capacity, reallocate at ~2×
+		// the live size so memory tracks the window again.
+		if c := cap(t.buf); c >= 4*traceMinCap && remaining*4 < c {
+			newCap := 2 * remaining
+			if newCap < traceMinCap {
+				newCap = traceMinCap
+			}
+			//md:allocok shrink after release, bounded by releases of grown buffers
+			shrunk := make([]DynInst, remaining, newCap)
+			copy(shrunk, t.buf)
+			t.buf = shrunk
+		}
 	}
 }
+
+// traceMinCap is the smallest buffer a shrink leaves behind; buffers at
+// or below 4*traceMinCap never shrink, so a steady-state pipeline
+// window (a few thousand entries) cannot thrash between grow and
+// shrink.
+const traceMinCap = 1024
 
 // Len returns the number of instructions generated so far.
 func (t *Trace) Len() int64 { return t.base + int64(len(t.buf)) }

@@ -17,6 +17,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -66,6 +68,12 @@ type Options struct {
 	// budget is counted in attempts, and the backoff schedule is a pure
 	// function of the attempt number.
 	Retry retry.Policy
+	// RecordingDir, when set, caches each benchmark's columnar recording
+	// on disk (<bench>.mdrec): a valid file is mmapped read-only, so
+	// concurrent sweep processes share one physical copy per benchmark
+	// through the page cache; a missing or damaged file is re-captured
+	// and rewritten atomically. Unset keeps recordings in memory.
+	RecordingDir string
 	// Journal, when set, is the sweep's crash-safe checkpoint store:
 	// every completed run is appended (and fsynced) as it finishes, and
 	// cells primed from a replayed journal are served from the memo
@@ -153,7 +161,7 @@ type Runner struct {
 
 	mu         sync.Mutex
 	progs      map[string]*prog.Program
-	recs       map[string]*emu.Recording
+	recs       map[string]emu.ReplaySource
 	cache      map[runKey]*stats.Run
 	hashes     map[config.Machine]string
 	inflight   map[runKey]*call
@@ -213,7 +221,7 @@ func NewRunner(opt Options) *Runner {
 	r := &Runner{
 		opt:        opt,
 		progs:      make(map[string]*prog.Program),
-		recs:       make(map[string]*emu.Recording),
+		recs:       make(map[string]emu.ReplaySource),
 		cache:      make(map[runKey]*stats.Run),
 		hashes:     make(map[config.Machine]string),
 		inflight:   make(map[runKey]*call),
@@ -332,11 +340,13 @@ func (r *Runner) program(bench string) (*prog.Program, error) {
 	return p, nil
 }
 
-// recording returns the shared dynamic-instruction recording for bench,
-// creating it on first use. Every configuration of a sweep replays the
-// same recording, so the architectural stream is emulated exactly once
-// per benchmark regardless of how many configurations run over it.
-func (r *Runner) recording(bench string) (*emu.Recording, error) {
+// recording returns the shared dynamic-instruction replay source for
+// bench, creating it on first use. Every configuration of a sweep
+// replays the same recording, so the architectural stream is emulated
+// exactly once per benchmark regardless of how many configurations run
+// over it. With RecordingDir set, the recording additionally persists
+// across processes as an mmapped column file.
+func (r *Runner) recording(bench string) (emu.ReplaySource, error) {
 	p, err := r.program(bench)
 	if err != nil {
 		return nil, err
@@ -346,9 +356,94 @@ func (r *Runner) recording(bench string) (*emu.Recording, error) {
 	if rec, ok := r.recs[bench]; ok {
 		return rec, nil
 	}
+	var src emu.ReplaySource
+	if r.opt.RecordingDir != "" {
+		src = r.fileRecording(bench, p)
+	} else {
+		src = emu.NewRecording(emu.New(p))
+	}
+	r.recs[bench] = src
+	return src, nil
+}
+
+// fileRecording serves bench from the RecordingDir cache: an existing
+// valid file is mmapped; otherwise the program is captured once, the
+// file written atomically (temp + rename, safe against concurrent
+// writers and crashes), and reopened mapped. Every failure path falls
+// back to a live in-memory recording — the disk cache is an
+// optimization, never a correctness dependency.
+func (r *Runner) fileRecording(bench string, p *prog.Program) emu.ReplaySource {
+	path := filepath.Join(r.opt.RecordingDir, bench+".mdrec")
+	if f, err := emu.OpenRecordingFile(path, p); err == nil {
+		return f
+	}
 	rec := emu.NewRecording(emu.New(p))
-	r.recs[bench] = rec
-	return rec, nil
+	rec.Record(r.opt.captureHorizon())
+	if err := writeRecordingFile(path, rec); err != nil {
+		return rec
+	}
+	if f, err := emu.OpenRecordingFile(path, p); err == nil {
+		return f
+	}
+	return rec
+}
+
+// captureHorizon bounds the stream prefix any simulation under these
+// options can touch, so a sealed recording file covers every replay. A
+// full timing run consumes Insts committed instructions plus the
+// window's fetch-ahead; a sampled run additionally streams through the
+// functional windows between timing windows. The pad covers warmup,
+// the largest window ablation, and squash refetch slack.
+func (o Options) captureHorizon() int64 {
+	h := o.Insts
+	if o.Sampled {
+		tw, fw := o.timingWindow(), o.functionalWindow()
+		periods := (o.Insts + tw - 1) / tw
+		h = periods * (tw + fw)
+	}
+	return h + 1<<17
+}
+
+// writeRecordingFile publishes a completed recording at path via a
+// same-directory temp file and an atomic rename.
+func writeRecordingFile(path string, rec *emu.Recording) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := rec.WriteSealedTo(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Close releases resources held by the runner's replay sources (mmapped
+// recording files). The runner must be idle.
+func (r *Runner) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var firstErr error
+	for bench, src := range r.recs {
+		if f, ok := src.(*emu.FileRecording); ok {
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		delete(r.recs, bench)
+	}
+	return firstErr
 }
 
 // simulate is the real simulation backend behind Run. With

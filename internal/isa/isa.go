@@ -241,8 +241,27 @@ const (
 	ClassBranch // includes jumps
 )
 
+// classOf memoizes classSwitch per opcode: the predicate methods
+// (IsLoad, IsStore, IsBranch, ...) run on every decoded dynamic
+// instruction, so the switch is evaluated once per opcode at package
+// init instead of per call.
+var classOf [numOps]Class
+
+func init() {
+	for o := Op(0); o < numOps; o++ {
+		classOf[o] = o.classSwitch()
+	}
+}
+
 // Class returns the functional-unit class of the opcode.
 func (o Op) Class() Class {
+	if int(o) < len(classOf) {
+		return classOf[o]
+	}
+	return ClassIntALU
+}
+
+func (o Op) classSwitch() Class {
 	switch o {
 	case NOP, HALT:
 		return ClassNop
@@ -271,29 +290,29 @@ func (o Op) Class() Class {
 	}
 }
 
+// classLatency backs Class.Latency; unlisted classes execute in 1 cycle.
+var classLatency = [ClassBranch + 1]int{
+	ClassIntMult: 4, ClassIntDiv: 12, ClassFPAdd: 2, ClassFPMulS: 4,
+	ClassFPMulD: 5, ClassFPDivS: 12, ClassFPDivD: 15,
+}
+
+func init() {
+	for c := range classLatency {
+		if classLatency[c] == 0 {
+			classLatency[c] = 1
+		}
+	}
+}
+
 // Latency returns the execution latency in cycles for the class, per the
 // paper's Table 2. Loads report the address-generation latency only; the
 // cache model adds memory time. Branches and stores take one cycle of
 // execution (condition evaluation / address+data merge).
 func (c Class) Latency() int {
-	switch c {
-	case ClassIntMult:
-		return 4
-	case ClassIntDiv:
-		return 12
-	case ClassFPAdd:
-		return 2
-	case ClassFPMulS:
-		return 4
-	case ClassFPMulD:
-		return 5
-	case ClassFPDivS:
-		return 12
-	case ClassFPDivD:
-		return 15
-	default:
-		return 1
+	if int(c) < len(classLatency) {
+		return classLatency[c]
 	}
+	return 1
 }
 
 // IsMem reports whether the op accesses memory.

@@ -7,9 +7,10 @@
 //
 // The decomposition is fixed by the options (period size × periods per
 // segment), never by the worker count: each segment is simulated on a
-// private core.Pipeline over a replay cursor of the shared
-// emu.Recording, fast-forwarding functionally to its segment start and
-// then running the timing/functional alternation within its bounds.
+// private core.Pipeline over a replay cursor of the shared replay
+// source (a live emu.Recording or an mmapped recording file),
+// fast-forwarding functionally to its segment start and then running
+// the timing/functional alternation within its bounds.
 // Every segment's result depends only on the configuration, the
 // recording, and the segment bounds, and stats.Merge combines the
 // per-segment results in stream order — so the merged Run is
@@ -197,7 +198,7 @@ func (o Options) segments() []segment {
 // sharded into segments and merged in stream order. The result is
 // deterministic for fixed options: worker count and scheduling change
 // only the wall-clock time.
-func Run(ctx context.Context, cfg config.Machine, rec *emu.Recording, opt Options) (*stats.Run, error) {
+func Run(ctx context.Context, cfg config.Machine, rec emu.ReplaySource, opt Options) (*stats.Run, error) {
 	if opt.TotalTiming <= 0 {
 		return nil, fmt.Errorf("parsim: invalid timing budget %d", opt.TotalTiming)
 	}
@@ -271,7 +272,7 @@ func Run(ctx context.Context, cfg config.Machine, rec *emu.Recording, opt Option
 // segment's simulation is recovered into a *PanicError naming the
 // segment, so one poisoned segment fails its own result slot instead of
 // killing the worker pool (and with it the whole sweep).
-func runSegment(ctx context.Context, cfg config.Machine, rec *emu.Recording, i int, s segment, opt Options) (res *stats.Run, err error) {
+func runSegment(ctx context.Context, cfg config.Machine, rec emu.ReplaySource, i int, s segment, opt Options) (res *stats.Run, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			res = nil
