@@ -222,7 +222,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer j.Close()
+		// The journal's durability comes from the per-entry fsyncs, but a
+		// failing close can still mean lost buffered state on some
+		// filesystems — surface it instead of dropping it.
+		defer func() {
+			if err := j.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "mdexp: closing journal: %v\n", err)
+			}
+		}()
 		opt.Journal = j
 		replayed = recs
 	}

@@ -1,58 +1,25 @@
-// Command mdlint is the project linter: it applies the internal
-// analyzers guarding the simulator's determinism contract, the
+// Command mdlint is the legacy project linter: the original analyzer
+// trio guarding the simulator's determinism contract, the
 // zero-allocation hot path, and the statistics artifact schema (see
-// internal/analysis). CI runs it over ./... and fails on any finding.
+// internal/analysis). It is kept as its own CI gate so a regression in
+// the newer mdvet analyzers can never mask one here; cmd/mdvet runs
+// the full suite.
 //
 // Usage:
 //
-//	go run ./cmd/mdlint [-list] [packages]
+//	go run ./cmd/mdlint [-list] [-only analyzer,...] [packages]
 //
-// Packages default to ./.... Exit status: 0 clean, 1 findings, 2 on a
-// load or internal error.
+// Packages default to ./.... Findings print as
+// `file:line:col: [analyzer] message`. Exit status: 0 clean, 1
+// findings, 2 on a load or internal error.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
 
 	"mdspec/internal/analysis"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list the analyzers and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mdlint [-list] [packages]\n\nAnalyzers:\n")
-		for _, a := range analysis.All() {
-			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
-		}
-	}
-	flag.Parse()
-	if *list {
-		for _, a := range analysis.All() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
-		}
-		return
-	}
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	cwd, err := os.Getwd()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mdlint:", err)
-		os.Exit(2)
-	}
-	diags, err := analysis.Run(cwd, patterns, analysis.All())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mdlint:", err)
-		os.Exit(2)
-	}
-	for _, d := range diags {
-		fmt.Println(d)
-	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "mdlint: %d finding(s)\n", len(diags))
-		os.Exit(1)
-	}
+	os.Exit(analysis.Main("mdlint", analysis.Legacy(), os.Args[1:], os.Stdout, os.Stderr))
 }

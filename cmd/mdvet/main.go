@@ -1,0 +1,26 @@
+// Command mdvet is the whole-program project vetter: it applies every
+// internal analyzer — the original determinism / hot-path-allocation /
+// stats-schema guards plus the lock-discipline (guardedby), SoA
+// column-parity (colparity), context-flow (ctxflow), and error-discard
+// (errdiscard) checks — to the entire module, cmd/* included (see
+// internal/analysis). CI runs it over ./... as its own gate and fails
+// on any unwaived finding.
+//
+// Usage:
+//
+//	go run ./cmd/mdvet [-list] [-only analyzer,...] [packages]
+//
+// Packages default to ./.... Findings print as
+// `file:line:col: [analyzer] message`. Exit status: 0 clean, 1
+// findings, 2 on a load or internal error.
+package main
+
+import (
+	"os"
+
+	"mdspec/internal/analysis"
+)
+
+func main() {
+	os.Exit(analysis.Main("mdvet", analysis.All(), os.Args[1:], os.Stdout, os.Stderr))
+}

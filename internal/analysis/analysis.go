@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"strings"
 )
 
 // An Analyzer describes one static check.
@@ -38,6 +39,10 @@ type Analyzer struct {
 	// nil) and may inspect every package; package-level analyzers run
 	// once per analyzed package.
 	ProgramLevel bool
+	// Packages, when non-empty, restricts a package-level analyzer to
+	// the listed module-relative package paths (determinism to the
+	// reproducibility core, ctxflow to request-scoped code).
+	Packages []string
 	// Run executes the check, reporting findings through the Pass.
 	Run func(*Pass) error
 }
@@ -74,9 +79,46 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the analyzers mdlint runs, in order.
+// All returns the full mdvet analyzer suite, in order.
 func All() []*Analyzer {
+	return []*Analyzer{Determinism, HotPathAlloc, StatsGuard, GuardedBy, ColParity, CtxFlow, ErrDiscard}
+}
+
+// Legacy returns the original mdlint trio (pre-mdvet), kept as its own
+// CI gate so a regression in the new analyzers can never mask one in
+// the determinism/allocation guards.
+func Legacy() []*Analyzer {
 	return []*Analyzer{Determinism, HotPathAlloc, StatsGuard}
+}
+
+// ByName resolves analyzer names (comma- or space-separated) against
+// candidates, preserving candidate order.
+func ByName(names string, candidates []*Analyzer) ([]*Analyzer, error) {
+	want := map[string]bool{}
+	for _, n := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' }) {
+		if n != "" {
+			want[n] = true
+		}
+	}
+	var out []*Analyzer
+	for _, a := range candidates {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	if len(want) > 0 {
+		var unknown []string
+		for n := range want {
+			unknown = append(unknown, n)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("unknown analyzer(s): %s", strings.Join(unknown, ", "))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return out, nil
 }
 
 // DeterministicPackages lists the module-relative package paths whose
@@ -98,8 +140,8 @@ var DeterministicPackages = []string{
 }
 
 // Run loads the packages matching patterns under dir and applies the
-// analyzers: package-level ones to each matched package (Determinism
-// only to DeterministicPackages), program-level ones once. It returns
+// analyzers: package-level ones to each matched package (respecting
+// each Analyzer.Packages scope), program-level ones once. It returns
 // the sorted findings.
 func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	prog, err := LoadProgram(dir, patterns...)
@@ -117,7 +159,7 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 			continue
 		}
 		for _, pkg := range prog.Targets {
-			if a == Determinism && !isDeterministicPackage(prog, pkg) {
+			if !inScope(prog, pkg, a.Packages) {
 				continue
 			}
 			pass := &Pass{Analyzer: a, Pkg: pkg, Program: prog, report: collect}
@@ -139,8 +181,13 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 	return diags, nil
 }
 
-func isDeterministicPackage(prog *Program, pkg *Package) bool {
-	for _, rel := range DeterministicPackages {
+// inScope applies an analyzer's Packages restriction (empty scope
+// means every package).
+func inScope(prog *Program, pkg *Package, scope []string) bool {
+	if len(scope) == 0 {
+		return true
+	}
+	for _, rel := range scope {
 		if pkg.Path == prog.ModulePath+"/"+rel {
 			return true
 		}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ColParity keeps structure-of-arrays structs honest: a struct
+// annotated //md:soa declares parallel slice columns indexed by one
+// entry id, and every function annotated `//md:soalifecycle <Struct>`
+// (grow, reset-on-reuse, snapshot, sanitizer mirror) must touch every
+// column. Adding a column and forgetting one lifecycle site is how SoA
+// layouts grow stale-state heisenbugs; colparity turns that into a
+// static finding.
+//
+// A column a site deliberately skips is waived per-site with
+// `//md:colok <field> <why>` in the function's doc comment.
+var ColParity = &Analyzer{
+	Name: "colparity",
+	Doc:  "every column of an //md:soa struct must be touched at each //md:soalifecycle site",
+	Run:  runColParity,
+}
+
+// soaStruct is one annotated structure-of-arrays type.
+type soaStruct struct {
+	name    string
+	columns map[string]*types.Var // slice-typed fields, by name
+}
+
+func runColParity(pass *Pass) error {
+	pkg := pass.Pkg
+	fset := pass.Program.Fset
+	structs := map[string]*soaStruct{}
+
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || !typeHasDirective(fset, pkg, gd, ts, DirSoA) {
+					continue
+				}
+				s := &soaStruct{name: ts.Name.Name, columns: map[string]*types.Var{}}
+				for _, f := range st.Fields.List {
+					t := pkg.Info.TypeOf(f.Type)
+					if t == nil {
+						continue
+					}
+					if _, isSlice := t.Underlying().(*types.Slice); !isSlice {
+						continue
+					}
+					for _, n := range f.Names {
+						if v, ok := pkg.Info.Defs[n].(*types.Var); ok {
+							s.columns[n.Name] = v
+						}
+					}
+				}
+				if len(s.columns) == 0 {
+					pass.Reportf(ts.Pos(), "//md:soa struct %s has no slice columns", s.name)
+					continue
+				}
+				structs[s.name] = s
+			}
+		}
+	}
+
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			arg, ok := pkg.FuncDirectiveArg(fset, fd, DirSoALifecycle)
+			if !ok {
+				continue
+			}
+			checkLifecycleSite(pass, pkg, fd, arg, structs)
+		}
+	}
+	return nil
+}
+
+func checkLifecycleSite(pass *Pass, pkg *Package, fd *ast.FuncDecl, arg string, structs map[string]*soaStruct) {
+	fset := pass.Program.Fset
+	name := arg
+	if name == "" {
+		if len(structs) == 1 {
+			for n := range structs {
+				name = n
+			}
+		} else {
+			pass.Reportf(fd.Pos(), "//md:soalifecycle needs the //md:soa struct name (%d candidates in package)", len(structs))
+			return
+		}
+	}
+	s, ok := structs[name]
+	if !ok {
+		pass.Reportf(fd.Pos(), "//md:soalifecycle %s: no //md:soa struct named %q in this package", name, name)
+		return
+	}
+
+	// Per-site waivers: //md:colok <field> <why> lines in the doc comment.
+	waived := map[string]bool{}
+	for _, w := range pkg.FuncDirectiveArgs(fset, fd, DirColOK) {
+		parts := strings.Fields(w)
+		if len(parts) == 0 {
+			pass.Reportf(fd.Pos(), "//md:colok waiver without a column name")
+			continue
+		}
+		col := parts[0]
+		if _, known := s.columns[col]; !known {
+			pass.Reportf(fd.Pos(), "//md:colok %s: %s has no column named %q", col, s.name, col)
+			continue
+		}
+		if len(parts) == 1 {
+			pass.Reportf(fd.Pos(), "//md:colok %s waiver without justification: state why the site skips the column", col)
+		}
+		waived[col] = true
+	}
+
+	touched := map[*types.Var]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if v, ok := pkg.Info.Uses[sel.Sel].(*types.Var); ok {
+			touched[v] = true
+		}
+		return true
+	})
+
+	var missing []string
+	for col, v := range s.columns {
+		if !touched[v] && !waived[col] {
+			missing = append(missing, col)
+		}
+	}
+	sort.Strings(missing)
+	for _, col := range missing {
+		pass.Reportf(fd.Name.Pos(), "lifecycle site %s does not touch %s column %q (waive with //md:colok %s <why>)",
+			fd.Name.Name, s.name, col, col)
+	}
+}

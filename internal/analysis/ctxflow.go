@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RequestScopedPackages lists the module-relative package paths whose
+// code runs on behalf of a request or an experiment run and must
+// therefore thread context.Context: no minting a fresh root context
+// below the handler, and no blocking channel operation that cannot be
+// cancelled.
+var RequestScopedPackages = []string{
+	"internal/server",
+	"internal/experiments",
+}
+
+// CtxFlow enforces context discipline in request-scoped packages
+// (RequestScopedPackages): handlers and runners must thread the
+// caller's context instead of minting context.Background()/TODO(), and
+// a blocking channel operation must live in a select with a
+// ctx.Done() case or a default (receiving from ctx.Done() itself, or
+// ranging over a channel that the producer closes, is fine).
+//
+// A channel op whose progress is guaranteed some other way — a
+// buffered-by-contract channel, a closing channel — is waived with
+// `//md:ctxok <why>` on its line or the line above.
+var CtxFlow = &Analyzer{
+	Name:     "ctxflow",
+	Doc:      "request-scoped code must thread context.Context; blocking channel ops need a ctx or closing-channel escape",
+	Packages: RequestScopedPackages,
+	Run:      runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	pkg := pass.Pkg
+	for _, file := range pkg.Files {
+		checkCtxFile(pass, pkg, file)
+	}
+	return nil
+}
+
+func checkCtxFile(pass *Pass, pkg *Package, file *ast.File) {
+	// First pass: map every channel op that is a select communication to
+	// its select, and classify each select (a ctx.Done() case or a
+	// default clause makes its communications cancellable).
+	selectOf := map[ast.Node]*ast.SelectStmt{}
+	cancellable := map[*ast.SelectStmt]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm == nil { // default:
+				cancellable[sel] = true
+				continue
+			}
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.SendStmt:
+					selectOf[m] = sel
+				case *ast.UnaryExpr:
+					if m.Op == token.ARROW {
+						selectOf[m] = sel
+						if isCtxDoneCall(pkg, m.X) {
+							cancellable[sel] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	// Second pass: flag root contexts and uncancellable channel ops.
+	var funcStack []string
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			funcStack = append(funcStack, n.Name.Name) // never popped: one decl at a time at file top level
+		case *ast.CallExpr:
+			checkRootContext(pass, pkg, n, funcStack)
+		case *ast.SendStmt:
+			reportChanOp(pass, pkg, n.Pos(), "send", selectOf[n], cancellable)
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW {
+				return true
+			}
+			if isCtxDoneCall(pkg, n.X) {
+				return true // <-ctx.Done() is the cancellation wait itself
+			}
+			reportChanOp(pass, pkg, n.Pos(), "receive", selectOf[n], cancellable)
+		}
+		return true
+	})
+}
+
+func reportChanOp(pass *Pass, pkg *Package, pos token.Pos, op string, sel *ast.SelectStmt, cancellable map[*ast.SelectStmt]bool) {
+	if sel != nil && cancellable[sel] {
+		return
+	}
+	if pass.checkWaiver(pkg, pos, DirCtxOK) {
+		return
+	}
+	if sel != nil {
+		pass.Reportf(pos, "select has no ctx.Done() or default case: blocking %s cannot be cancelled (//md:ctxok <why> to waive)", op)
+		return
+	}
+	pass.Reportf(pos, "blocking channel %s without a ctx.Done() select or closing-channel escape (//md:ctxok <why> to waive)", op)
+}
+
+// checkRootContext flags context.Background()/context.TODO() and
+// time.Sleep below a handler: request-scoped code must use the caller's
+// context (and ctx-aware waits).
+func checkRootContext(pass *Pass, pkg *Package, call *ast.CallExpr, funcStack []string) {
+	fn, ok := calleeObject(pkg.Info, call.Fun).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	var msg string
+	switch {
+	case fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO"):
+		// main/init are the process root: minting the root context there
+		// is the whole point.
+		if len(funcStack) > 0 {
+			if top := funcStack[len(funcStack)-1]; top == "main" || top == "init" {
+				return
+			}
+		}
+		msg = "context." + fn.Name() + "() in request-scoped code: thread the caller's ctx instead"
+	case fn.Pkg().Path() == "time" && fn.Name() == "Sleep":
+		msg = "time.Sleep blocks without a context: use a timer in a select with ctx.Done()"
+	default:
+		return
+	}
+	if pass.checkWaiver(pkg, call.Pos(), DirCtxOK) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s (//md:ctxok <why> to waive)", msg)
+}
+
+// isCtxDoneCall recognizes `<something context.Context>.Done()`.
+func isCtxDoneCall(pkg *Package, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	t := pkg.Info.TypeOf(sel.X)
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

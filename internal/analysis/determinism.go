@@ -19,7 +19,8 @@ var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: "forbid map-order iteration, wall-clock reads, global randomness, " +
 		"and goroutine spawns in the deterministic simulator packages",
-	Run: runDeterminism,
+	Packages: DeterministicPackages,
+	Run:      runDeterminism,
 }
 
 // wallClockFuncs are time-package functions whose results differ run to

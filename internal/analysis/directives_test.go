@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text      string
+		name, arg string
+		ok        bool
+	}{
+		{"//md:hotpath", "hotpath", "", true},
+		{"//md:guardedby mu", "guardedby", "mu", true},
+		{"//md:errok   padded   reason  ", "errok", "padded   reason", true},
+		{"//md:locked\tmu", "locked", "mu", true},
+		{"//md:colok flags transient scheduling state", "colok", "flags transient scheduling state", true},
+		{"//md:", "", "", false},           // empty name is not a directive
+		{"//md: guardedby", "", "", false}, // leading space means empty name
+		{"// md:hotpath", "", "", false},   // space before md: breaks the prefix
+		{"//notmd:hotpath", "", "", false},
+		{"// plain comment", "", "", false},
+	}
+	for _, c := range cases {
+		name, arg, ok := parseDirective(c.text)
+		if name != c.name || arg != c.arg || ok != c.ok {
+			t.Errorf("parseDirective(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.text, name, arg, ok, c.name, c.arg, c.ok)
+		}
+	}
+}
+
+// parseIndex parses one synthetic file and builds its directive index.
+func parseIndex(t *testing.T, src string) (*token.FileSet, directiveIndex, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "dir.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, collectDirectives(fset, []*ast.File{f}), f
+}
+
+func TestDirectiveDuplicateFirstWins(t *testing.T) {
+	_, idx, _ := parseIndex(t, `package p
+
+var x int //md:errok first reason //md:errok second reason
+`)
+	arg, ok := idx.argAt("dir.go", 3, DirErrOK)
+	if !ok {
+		t.Fatal("directive not indexed")
+	}
+	// The second occurrence rides inside the first one's argument text;
+	// it must not overwrite the first binding.
+	if want := "first reason //md:errok second reason"; arg != want {
+		t.Errorf("arg = %q, want %q", arg, want)
+	}
+}
+
+func TestTrailingDirectiveDoesNotLeakToNextLine(t *testing.T) {
+	_, idx, _ := parseIndex(t, `package p
+
+type s struct {
+	a int //md:guardedby mu
+	b int
+}
+`)
+	if _, ok := idx.argFor("dir.go", 4, DirGuardedBy); !ok {
+		t.Error("directive should bind to its own line (field a)")
+	}
+	// Line 4 holds code, so the trailing directive must not govern
+	// line 5's field b via the line-above rule.
+	if _, ok := idx.argFor("dir.go", 5, DirGuardedBy); ok {
+		t.Error("trailing directive on line 4 leaked to field b on line 5")
+	}
+}
+
+func TestDirectiveAloneAboveBinds(t *testing.T) {
+	_, idx, _ := parseIndex(t, `package p
+
+type s struct {
+	//md:guardedby mu
+	a int
+}
+`)
+	arg, ok := idx.argFor("dir.go", 5, DirGuardedBy)
+	if !ok || arg != "mu" {
+		t.Errorf("comment-only line above should bind: got (%q, %v)", arg, ok)
+	}
+}
+
+func TestWaiverAtPositions(t *testing.T) {
+	fset, idx, f := parseIndex(t, `package p
+
+func g() error { return nil }
+
+func f() {
+	g() //md:errok same-line reason
+	//md:errok
+	g()
+	g()
+}
+`)
+	// Find the three g() call positions in f's body.
+	var calls []token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "g" {
+				calls = append(calls, c.Pos())
+			}
+		}
+		return true
+	})
+	if len(calls) != 3 {
+		t.Fatalf("found %d g() calls, want 3", len(calls))
+	}
+	if found, reason, _ := idx.waiverAt(fset, calls[0], DirErrOK); !found || reason != "same-line reason" {
+		t.Errorf("same-line waiver: found=%v reason=%q", found, reason)
+	}
+	// Second call: bare waiver alone on the line above — present, no reason.
+	if found, reason, _ := idx.waiverAt(fset, calls[1], DirErrOK); !found || reason != "" {
+		t.Errorf("line-above waiver: found=%v reason=%q", found, reason)
+	}
+	// Third call: the waiver two lines up governs the second call only.
+	if found, _, _ := idx.waiverAt(fset, calls[2], DirErrOK); found {
+		t.Error("waiver leaked two lines down to an unrelated call")
+	}
+}
+
+func TestWaiverOnWrongNodeDoesNotApply(t *testing.T) {
+	fset, idx, f := parseIndex(t, `package p
+
+func g() error { return nil }
+
+//md:errok waiver parked on the declaration, not the call site
+func f() {
+	g()
+}
+`)
+	var call token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			call = c.Pos()
+		}
+		return true
+	})
+	if found, _, _ := idx.waiverAt(fset, call, DirErrOK); found {
+		t.Error("a waiver on the enclosing declaration must not waive the call site")
+	}
+}
+
+func TestFuncDirectiveArgsCollectsDocRepeats(t *testing.T) {
+	fset, idx, f := parseIndex(t, `package p
+
+// doc comment.
+//
+//md:colok flags reason one
+//md:colok vals reason two
+func f() {}
+`)
+	pkg := &Package{Files: []*ast.File{f}, directives: idx}
+	var fd *ast.FuncDecl
+	for _, d := range f.Decls {
+		if d, ok := d.(*ast.FuncDecl); ok {
+			fd = d
+		}
+	}
+	args := pkg.FuncDirectiveArgs(fset, fd, DirColOK)
+	if len(args) != 2 || args[0] != "flags reason one" || args[1] != "vals reason two" {
+		t.Errorf("FuncDirectiveArgs = %q, want both doc repeats in order", args)
+	}
+}

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDiscard makes discarding load-bearing errors a hard failure. The
+// durability layer's contract is only as good as its weakest caller: a
+// dropped error from an atomic write, a journal append, CRC
+// validation, mmap/munmap teardown, or closing/syncing a written file
+// silently converts a detectable corruption into a wrong result.
+//
+// Flagged discards: calling a must-check function as a bare statement,
+// via defer/go, or assigning its error result to the blank identifier.
+// Must-check callees:
+//
+//   - anything exported by internal/atomicio (the durability layer)
+//   - any method on experiments.Journal (append/close/CRC framing)
+//   - Close() error methods on in-module or *os.File receivers
+//   - Sync() error methods on the same (fsync durability)
+//   - calls through a `func() error` value (mmap/munmap cleanups)
+//   - in-module functions whose name mentions CRC or checksum
+//
+// A genuinely ignorable discard (read-only close, cleanup on an
+// already-failing path) is waived with `//md:errok <why>` on its line
+// or the line above.
+var ErrDiscard = &Analyzer{
+	Name: "errdiscard",
+	Doc:  "discarded errors from the durability layer (atomicio, journal, CRC, close/sync on write paths) are hard failures",
+	Run:  runErrDiscard,
+}
+
+func runErrDiscard(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscard(pass, call, "result dropped")
+				}
+			case *ast.DeferStmt:
+				checkDiscard(pass, n.Call, "error lost in defer")
+			case *ast.GoStmt:
+				checkDiscard(pass, n.Call, "error lost in goroutine")
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlankAssign flags `_ = f()` / `v, _ := f()` where the blank
+// slot is a must-check error.
+func checkBlankAssign(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sig, ok := pass.Pkg.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Results().Len() != len(as.Lhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if isErrorType(sig.Results().At(i).Type()) {
+			checkDiscard(pass, call, "error assigned to _")
+			return
+		}
+	}
+}
+
+// checkDiscard reports the call if its callee is must-check and it
+// returns an error that the context discards.
+func checkDiscard(pass *Pass, call *ast.CallExpr, how string) {
+	desc, ok := mustCheckCallee(pass, call)
+	if !ok {
+		return
+	}
+	if pass.checkWaiver(pass.Pkg, call.Pos(), DirErrOK) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s: %s (//md:errok <why> to waive)", desc, how)
+}
+
+// mustCheckCallee decides whether the call's error is load-bearing and
+// returns a human description of the callee.
+func mustCheckCallee(pass *Pass, call *ast.CallExpr) (string, bool) {
+	info := pass.Pkg.Info
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || !returnsError(sig) {
+		return "", false
+	}
+	switch callee := calleeObject(info, call.Fun).(type) {
+	case *types.Func:
+		path := ""
+		if callee.Pkg() != nil {
+			path = callee.Pkg().Path()
+		}
+		name := funcDisplayName(callee)
+		switch {
+		case strings.HasSuffix(path, "internal/atomicio"):
+			return "discarded error from atomicio." + callee.Name(), true
+		case recvTypeName(callee) == "Journal":
+			return "discarded error from Journal." + callee.Name(), true
+		case (callee.Name() == "Close" || callee.Name() == "Sync") &&
+			sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+			writePathReceiver(pass, callee):
+			return "discarded error from " + name, true
+		case pass.Program.inModule(path) && mentionsCRC(callee.Name()):
+			return "discarded error from " + name + " (checksum validation)", true
+		}
+	case *types.Var:
+		// A call through a func value: the mmap/munmap and cleanup
+		// closures are plain `func() error`s.
+		if sig.Params().Len() == 0 && sig.Results().Len() == 1 {
+			return "discarded error from cleanup func " + callee.Name() + "()", true
+		}
+	}
+	return "", false
+}
+
+func returnsError(sig *types.Signature) bool {
+	n := sig.Results().Len()
+	return n > 0 && isErrorType(sig.Results().At(n-1).Type())
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj() == types.Universe.Lookup("error")
+}
+
+// recvTypeName returns the name of a method's receiver type ("" for
+// plain functions).
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// writePathReceiver limits the Close/Sync rule to receivers that can
+// sit on a write path: in-module types (recordings, journals, sinks)
+// and *os.File. Closing an http body or a stdlib reader stays out of
+// scope.
+func writePathReceiver(pass *Pass, fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "os" || pass.Program.inModule(pkg.Path())
+}
+
+func mentionsCRC(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "crc") || strings.Contains(l, "checksum")
+}

@@ -25,3 +25,19 @@ func TestStatsGuardFixture(t *testing.T) {
 func TestStatsGuardNoSinkFixture(t *testing.T) {
 	RunFixture(t, StatsGuard, filepath.Join("testdata", "src"), "./statsnosink/...")
 }
+
+func TestGuardedByFixture(t *testing.T) {
+	RunFixture(t, GuardedBy, filepath.Join("testdata", "src"), "./guarded/...")
+}
+
+func TestColParityFixture(t *testing.T) {
+	RunFixture(t, ColParity, filepath.Join("testdata", "src"), "./colpar/...")
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	RunFixture(t, CtxFlow, filepath.Join("testdata", "src"), "./ctxflow/...")
+}
+
+func TestErrDiscardFixture(t *testing.T) {
+	RunFixture(t, ErrDiscard, filepath.Join("testdata", "src"), "./errdis/...")
+}

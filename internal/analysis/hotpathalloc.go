@@ -119,8 +119,7 @@ func funcDisplayName(f *types.Func) string {
 // reportf emits a finding unless the site carries //md:allocok.
 func (c *hpChecker) reportf(w hpWork, pos token.Pos, format string, args ...any) {
 	p := c.prog.Fset.Position(pos)
-	d := w.pkg.directives
-	if d.hasAt(p.Filename, p.Line, DirAllocOK) || d.hasAt(p.Filename, p.Line-1, DirAllocOK) {
+	if w.pkg.directives.hasFor(p.Filename, p.Line, DirAllocOK) {
 		return
 	}
 	args = append(args, w.root)

@@ -1,0 +1,60 @@
+// Package colpar exercises the colparity analyzer: lifecycle sites
+// that miss columns, colok waivers (with and without reasons), and
+// annotation validation.
+package colpar
+
+//md:soa
+type cols struct {
+	seq   []int64
+	flags []uint32
+	vals  []int64
+	n     int // scalar, not a column
+}
+
+//md:soa
+type empty struct { // want "//md:soa struct empty has no slice columns"
+	n int
+}
+
+// grow touches every column.
+//
+//md:soalifecycle cols
+func (c *cols) grow(w int) {
+	c.seq = make([]int64, w)
+	c.flags = make([]uint32, w)
+	c.vals = make([]int64, w)
+}
+
+// reset forgets vals.
+//
+//md:soalifecycle cols
+func (c *cols) reset() { // want "lifecycle site reset does not touch cols column \"vals\""
+	for i := range c.seq {
+		c.seq[i] = -1
+	}
+	for i := range c.flags {
+		c.flags[i] = 0
+	}
+}
+
+// snapshot deliberately skips flags, with a reason.
+//
+//md:soalifecycle cols
+//md:colok flags transient scheduling state; a snapshot never carries it
+func (c *cols) snapshot() ([]int64, []int64) {
+	return c.seq, c.vals
+}
+
+// badWaivers exercises colok validation.
+//
+//md:soalifecycle cols
+//md:colok vals
+//md:colok nosuch never existed
+func (c *cols) badWaivers() { // want "//md:colok vals waiver without justification" "cols has no column named \"nosuch\""
+	_ = c.seq
+	_ = c.flags
+}
+
+//md:soalifecycle nosuch
+func orphanSite() { // want "no //md:soa struct named \"nosuch\""
+}

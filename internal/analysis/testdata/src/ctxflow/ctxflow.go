@@ -1,0 +1,89 @@
+// Package ctxflow exercises the ctxflow analyzer: root contexts minted
+// below handlers, blocking channel ops with and without a ctx escape,
+// range-over-channel, and ctxok waivers.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+func mintsRoot() context.Context {
+	return context.Background() // want "context.Background\\(\\) in request-scoped code"
+}
+
+func mintsTODO() context.Context {
+	return context.TODO() // want "context.TODO\\(\\) in request-scoped code"
+}
+
+func main() {
+	_ = context.Background() // ok: the process root mints the root context
+}
+
+func sleeps() {
+	time.Sleep(time.Second) // want "time.Sleep blocks without a context"
+}
+
+func bareSend(ch chan int) {
+	ch <- 1 // want "blocking channel send without a ctx.Done\\(\\) select"
+}
+
+func bareRecv(ch chan int) int {
+	return <-ch // want "blocking channel receive without a ctx.Done\\(\\) select"
+}
+
+func selectWithCtx(ctx context.Context, ch chan int) error {
+	select {
+	case ch <- 1: // ok: the ctx case makes this cancellable
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func selectWithDefault(ch chan int) bool {
+	select {
+	case ch <- 1: // ok: default makes this non-blocking
+		return true
+	default:
+		return false
+	}
+}
+
+func selectWithoutEscape(a, b chan int) int {
+	select {
+	case v := <-a: // want "select has no ctx.Done\\(\\) or default case"
+		return v
+	case v := <-b: // want "select has no ctx.Done\\(\\) or default case"
+		return v
+	}
+}
+
+func waitForCancel(ctx context.Context) {
+	<-ctx.Done() // ok: waiting on cancellation is ctx-aware by definition
+}
+
+func drains(ch chan int) int {
+	total := 0
+	for v := range ch { // ok: the producer closing the channel ends the loop
+		total += v
+	}
+	return total
+}
+
+func waived(ch chan int) {
+	ch <- 1 //md:ctxok buffered by contract: the caller sizes ch to the result count
+}
+
+func waivedNoReason(ch chan int) {
+	//md:ctxok
+	ch <- 1 // want "//md:ctxok waiver without justification"
+}
+
+func sendInClauseBody(ctx context.Context, ch, out chan int) {
+	select {
+	case v := <-ch: // ok
+		out <- v // want "blocking channel send without a ctx.Done\\(\\) select"
+	case <-ctx.Done():
+	}
+}

@@ -1,0 +1,89 @@
+// Package errdis exercises the errdiscard analyzer: discarded errors
+// from the durability layer (atomicio, Journal methods, close/sync on
+// write paths, cleanup func values, CRC validation) in every discard
+// position, plus errok waivers and should-not-flag shapes.
+package errdis
+
+import (
+	"fmt"
+	"io"
+
+	"fixtures/errdis/journal"
+	"fixtures/internal/atomicio"
+)
+
+// sink is an in-module write-path type: Close/Sync errors on it are
+// load-bearing.
+type sink struct{}
+
+func (s *sink) Close() error { return nil }
+func (s *sink) Sync() error  { return nil }
+func (s *sink) Len() int     { return 0 }
+
+// checkCRC is an in-module checksum validator.
+func checkCRC(data []byte) error {
+	_ = data
+	return nil
+}
+
+func bareAtomicio() {
+	atomicio.WriteFile("x", nil) // want "discarded error from atomicio.WriteFile: result dropped"
+}
+
+func blankAtomicio() {
+	_ = atomicio.SyncDir(".") // want "discarded error from atomicio.SyncDir: error assigned to _"
+}
+
+func blankMulti() {
+	n, _ := atomicio.Emit("x") // want "discarded error from atomicio.Emit: error assigned to _"
+	_ = n
+}
+
+func journalAppend(j *journal.Journal) {
+	go j.Append(nil) // want "discarded error from Journal.Append: error lost in goroutine"
+}
+
+func journalClose(j *journal.Journal) {
+	defer j.Close() // want "discarded error from Journal.Close: error lost in defer"
+}
+
+func sinkClose(s *sink) {
+	defer s.Close() // want "discarded error from sink.Close: error lost in defer"
+}
+
+func sinkSync(s *sink) {
+	s.Sync() // want "discarded error from sink.Sync: result dropped"
+}
+
+func crcDropped(data []byte) {
+	checkCRC(data) // want "discarded error from checkCRC \\(checksum validation\\): result dropped"
+}
+
+func cleanupValue() {
+	unmap := func() error { return nil }
+	defer unmap() // want "discarded error from cleanup func unmap\\(\\): error lost in defer"
+}
+
+func handled() error {
+	if err := atomicio.WriteFile("x", nil); err != nil { // ok: error checked
+		return fmt.Errorf("write: %w", err)
+	}
+	return checkCRC(nil) // ok: error returned to the caller
+}
+
+func nonErrorResult(s *sink) {
+	s.Len() // ok: no error result to discard
+}
+
+func stdlibReader(rc io.ReadCloser) {
+	defer rc.Close() // ok: interface receiver outside the module and os
+}
+
+func waived(s *sink) {
+	s.Close() //md:errok read-only handle; nothing buffered to flush
+}
+
+func waivedNoReason(s *sink) {
+	//md:errok
+	s.Close() // want "//md:errok waiver without justification"
+}

@@ -1,0 +1,15 @@
+// Package journal supplies a Journal type so the errdiscard fixture
+// can exercise the any-method-on-Journal rule.
+package journal
+
+// Journal mimics the real append-only journal.
+type Journal struct{}
+
+// Append mimics a framed record append.
+func (j *Journal) Append(rec []byte) error {
+	_ = rec
+	return nil
+}
+
+// Close mimics the final flush.
+func (j *Journal) Close() error { return nil }

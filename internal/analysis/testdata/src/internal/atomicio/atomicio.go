@@ -1,0 +1,22 @@
+// Package atomicio mirrors the real durability layer's shape so the
+// errdiscard fixture can exercise the internal/atomicio path-suffix
+// rule (the fixture module path "fixtures/internal/atomicio" matches).
+package atomicio
+
+// WriteFile stands in for the real atomic write.
+func WriteFile(name string, data []byte) error {
+	_ = name
+	_ = data
+	return nil
+}
+
+// SyncDir stands in for the real directory fsync.
+func SyncDir(dir string) error {
+	_ = dir
+	return nil
+}
+
+// Emit returns a count and an error, for blank-assign cases.
+func Emit(name string) (int, error) {
+	return len(name), nil
+}

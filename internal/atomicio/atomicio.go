@@ -37,7 +37,7 @@ func WriteFile(path string, write func(io.Writer) error) (err error) {
 	tmp := f.Name()
 	defer func() {
 		if err != nil {
-			f.Close()
+			f.Close() //md:errok cleanup on an already-failing write; the first error is the one reported
 			os.Remove(tmp)
 		}
 	}()
@@ -69,10 +69,10 @@ func SyncDir(dir string) error {
 	if err != nil {
 		return fmt.Errorf("atomicio: sync dir %s: %w", dir, err)
 	}
-	defer d.Close()
+	defer d.Close() //md:errok read-only directory handle; nothing written through it
 	// Best effort: some filesystems reject directory fsync (EINVAL);
 	// the data-file fsync before the rename is the load-bearing one.
-	_ = d.Sync()
+	_ = d.Sync() //md:errok deliberate best effort: EINVAL-style directory-fsync rejection is tolerated by contract
 	return nil
 }
 
@@ -92,7 +92,17 @@ func ProbeDir(dir string) error {
 		return fmt.Errorf("atomicio: output directory %s is not writable: %w", dir, err)
 	}
 	name := f.Name()
-	f.Close()
+	// The probe exists to surface unwritability early: a failing close
+	// (quota exceeded, I/O error at flush) is exactly the signal it is
+	// meant to catch, so it must not be dropped.
+	closeErr := f.Close()
+	if err := faultinject.PointErr(faultinject.SiteProbeClose); err != nil {
+		closeErr = err
+	}
+	if closeErr != nil {
+		os.Remove(name) //md:errok probe cleanup on an already-failing path; the close error is the one reported
+		return fmt.Errorf("atomicio: output directory %s is not writable: %w", dir, closeErr)
+	}
 	if err := os.Remove(name); err != nil {
 		return fmt.Errorf("atomicio: output directory %s: %w", dir, err)
 	}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"mdspec/internal/faultinject"
@@ -49,5 +50,42 @@ func TestInjectedWriteErrorLeavesDestination(t *testing.T) {
 	}
 	if got, _ := os.ReadFile(path); string(got) != "v2" {
 		t.Fatalf("recovered write lost content: %q", got)
+	}
+}
+
+// TestProbeDirSurfacesCloseFailure pins the probe-close error path: a
+// failure while closing the probe file (quota exceeded, I/O error at
+// flush) is exactly the unwritability signal ProbeDir exists to catch,
+// so it must surface as an error instead of being dropped — the defect
+// this test regresses against reported such a directory as writable.
+func TestProbeDirSurfacesCloseFailure(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "out")
+
+	faultinject.Arm(faultinject.Plan{
+		Site: faultinject.SiteProbeClose, N: 1, Kind: faultinject.KindError,
+	})
+	defer faultinject.Disarm()
+
+	err := ProbeDir(dir)
+	var inj *faultinject.InjectedError
+	if !errors.As(err, &inj) {
+		t.Fatalf("ProbeDir = %v, want the injected close error surfaced", err)
+	}
+	if !strings.Contains(err.Error(), "not writable") {
+		t.Errorf("ProbeDir error %q should report the directory as not writable", err)
+	}
+
+	// The failing probe must not leave its temp file behind.
+	ents, readErr := os.ReadDir(dir)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if len(ents) != 0 {
+		t.Errorf("failing probe left %d file(s) behind in %s", len(ents), dir)
+	}
+
+	// The plan fired once: the next probe finds the directory writable.
+	if err := ProbeDir(dir); err != nil {
+		t.Fatalf("ProbeDir after injected close failure: %v", err)
 	}
 }

@@ -281,9 +281,10 @@ func init() {
 
 // dispatchOne installs one instruction into its window slot. Every
 // column is written explicitly: slots are reused and carry a previous
-// occupant's values.
+// occupant's values; colparity enforces the every-column contract.
 //
 //md:hotpath
+//md:soalifecycle robCols
 func (p *Pipeline) dispatchOne(rec *fetchRec) {
 	d := &rec.di
 	s := p.slotIndex(rec.seq)

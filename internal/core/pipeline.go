@@ -89,6 +89,8 @@ const (
 // streams a few cache lines per column instead of dragging a ~200-byte
 // robEntry struct through the cache per entry, and dispatch writes
 // columns instead of a duffcopy of the whole struct.
+//
+//md:soa
 type robCols struct {
 	// seq is the occupying sequence number, or noSeq for a free slot.
 	// It replaces the AoS valid flag + di.Seq pair: every liveness check
@@ -128,6 +130,10 @@ type robCols struct {
 	bpHist           []uint32 // predictor history at prediction time
 }
 
+// init allocates every column at the window size; colparity keeps the
+// column list in lockstep with the struct.
+//
+//md:soalifecycle robCols
 func (r *robCols) init(w int) {
 	r.seq = make([]int64, w)
 	for i := range r.seq {

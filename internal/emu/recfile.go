@@ -302,7 +302,7 @@ func OpenRecordingFile(path string, p *prog.Program) (*FileRecording, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer file.Close()
+	defer file.Close() //md:errok read-only descriptor; the mapping outlives it and nothing was written
 	st, err := file.Stat()
 	if err != nil {
 		return nil, err
@@ -313,7 +313,7 @@ func OpenRecordingFile(path string, p *prog.Program) (*FileRecording, error) {
 	}
 	f, err := parseRecording(data, p)
 	if err != nil {
-		unmap()
+		unmap() //md:errok teardown of a read-only mapping on an already-failing open; the parse error is the one reported
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	f.unmap = unmap

@@ -165,21 +165,27 @@ func (c *recChunk) sizeBytes(n int64) int64 {
 // proportional to the instruction window. A completed Recording can be
 // serialized with WriteTo and mapped back with OpenRecordingFile so
 // separate processes share one on-disk copy per benchmark.
+// Lock ordering: mu > chunksMu > lenMu. extend holds mu for the whole
+// extension and takes chunksMu, then lenMu, strictly nested inside it;
+// readers take chunksMu or lenMu alone and never mu — so no cycle is
+// possible. Chunk *contents* are guarded by mu until the lenMu-published
+// length covers them (immutable once visible), which is why readers can
+// index chunks lock-free after snapshot.
 type Recording struct {
 	mu      sync.Mutex // serializes extension of the stream
-	m       *Machine
-	scratch DynInst // Step target while encoding, guarded by mu
+	m       *Machine   //md:guardedby mu
+	scratch DynInst    //md:guardedby mu
 
 	code []isa.Inst // static code table; pcIdx columns index into it
 	prog *prog.Program
 
 	chunksMu sync.RWMutex // guards growth of the chunk slice header
-	chunks   []*recChunk
+	chunks   []*recChunk  //md:guardedby chunksMu
 
 	lenMu sync.RWMutex
-	n     int64  // instructions recorded so far
-	tail  uint32 // NextPC of instruction n-1 (the machine's frontier PC)
-	done  bool   // machine halted; n is the exact program length
+	n     int64  //md:guardedby lenMu instructions recorded so far
+	tail  uint32 //md:guardedby lenMu NextPC of instruction n-1 (the machine's frontier PC)
+	done  bool   //md:guardedby lenMu machine halted; n is the exact program length
 }
 
 // NewRecording returns a Recording over m. The machine must not be

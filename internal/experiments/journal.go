@@ -85,8 +85,8 @@ type journalEntry struct {
 // a Runner's sweep workers.
 type Journal struct {
 	mu   sync.Mutex
-	f    *os.File
-	path string
+	f    *os.File //md:guardedby mu
+	path string   // immutable after OpenJournal
 }
 
 // OpenJournal opens (or creates) the journal in dir for a sweep running
@@ -123,7 +123,7 @@ func OpenJournal(dir string, opt Options) (*Journal, []RunRecord, error) {
 		// Fresh journal: write the magic and the meta fingerprint first,
 		// so even an immediately-killed sweep leaves a parsable file.
 		if err := j.init(want); err != nil {
-			f.Close()
+			f.Close() //md:errok cleanup on an already-failing open; the init error is the one reported
 			return nil, nil, err
 		}
 	}
@@ -134,6 +134,8 @@ func OpenJournal(dir string, opt Options) (*Journal, []RunRecord, error) {
 func (j *Journal) Path() string { return j.path }
 
 // init writes the magic line and the meta entry of a fresh journal.
+//
+//md:nolock single-owner: OpenJournal calls init before the Journal is published to any other goroutine
 func (j *Journal) init(meta Fingerprint) error {
 	if _, err := j.f.WriteString(journalMagic); err != nil {
 		return fmt.Errorf("journal: %w", err)

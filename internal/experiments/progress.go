@@ -20,22 +20,23 @@ import (
 // printing anything else to the same stream.
 type Progress struct {
 	mu          sync.Mutex
-	w           io.Writer
-	start       time.Time
-	interactive bool
-	// minInterval throttles non-interactive line updates (tests set 0).
+	w           io.Writer // immutable after NewProgress
+	start       time.Time // immutable after NewProgress
+	interactive bool      // immutable after NewProgress
+	// minInterval throttles non-interactive line updates (tests zero it
+	// before the Progress is shared, the single-owner phase).
 	minInterval time.Duration
-	lastPrint   time.Time
-	started     int
-	finished    int
-	failed      int
-	hits        int
-	last        string
+	lastPrint   time.Time //md:guardedby mu
+	started     int       //md:guardedby mu
+	finished    int       //md:guardedby mu
+	failed      int       //md:guardedby mu
+	hits        int       //md:guardedby mu
+	last        string    //md:guardedby mu
 	// lastWidth is the rune count of the previously painted line;
 	// padding with byte length would miscount any multi-byte output
 	// (benchmark or config names are not guaranteed ASCII).
-	lastWidth int
-	done      bool
+	lastWidth int  //md:guardedby mu
+	done      bool //md:guardedby mu
 }
 
 // NewProgress returns a Progress writing to w (normally os.Stderr).
@@ -83,7 +84,9 @@ func (p *Progress) Hooks() Hooks {
 	}
 }
 
-// render repaints the status line; callers hold p.mu.
+// render repaints the status line.
+//
+//md:locked mu
 func (p *Progress) render() {
 	if p.done {
 		return

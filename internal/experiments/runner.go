@@ -160,17 +160,17 @@ type Runner struct {
 	opt Options
 
 	mu         sync.Mutex
-	progs      map[string]*prog.Program
-	recs       map[string]emu.ReplaySource
-	cache      map[runKey]*stats.Run
-	hashes     map[config.Machine]string
-	inflight   map[runKey]*call
-	records    []RunRecord
-	recordIdx  map[runKeyID]int
-	primed     map[runKeyID]RunRecord
-	abandoned  []AbandonedCell
-	abandonSet map[runKeyID]bool
-	journalErr error
+	progs      map[string]*prog.Program    //md:guardedby mu
+	recs       map[string]emu.ReplaySource //md:guardedby mu
+	cache      map[runKey]*stats.Run       //md:guardedby mu
+	hashes     map[config.Machine]string   //md:guardedby mu
+	inflight   map[runKey]*call            //md:guardedby mu
+	records    []RunRecord                 //md:guardedby mu
+	recordIdx  map[runKeyID]int            //md:guardedby mu
+	primed     map[runKeyID]RunRecord      //md:guardedby mu
+	abandoned  []AbandonedCell             //md:guardedby mu
+	abandonSet map[runKeyID]bool           //md:guardedby mu
+	journalErr error                       //md:guardedby mu
 
 	jobsStarted  atomic.Int64
 	jobsFinished atomic.Int64
@@ -416,11 +416,11 @@ func writeRecordingFile(path string, rec *emu.Recording) error {
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := rec.WriteSealedTo(tmp); err != nil {
-		tmp.Close()
+		tmp.Close() //md:errok cleanup on an already-failing write; the temp file is removed, not published
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		tmp.Close() //md:errok cleanup on an already-failing sync; the temp file is removed, not published
 		return err
 	}
 	if err := tmp.Close(); err != nil {
@@ -603,6 +603,8 @@ func (r *Runner) cfgHash(cfg config.Machine) string {
 }
 
 // cfgHashLocked is cfgHash for callers already holding r.mu.
+//
+//md:locked mu
 func (r *Runner) cfgHashLocked(cfg config.Machine) string {
 	if h, ok := r.hashes[cfg]; ok {
 		return h
@@ -845,14 +847,25 @@ func (r *Runner) runAll(ctx context.Context, jobs []job) error {
 			}
 		}()
 	}
+	// Submission is ctx-aware: once the sweep is canceled, stop feeding
+	// the pool instead of blocking on workers that are themselves
+	// unwinding; unsubmitted jobs keep their slot's nil error and the
+	// single collapsed ctx.Err() below reports the cancellation.
+	aborted := false
+submit:
 	for i := range jobs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			aborted = true
+			break submit
+		}
 	}
 	close(idx)
 	wg.Wait()
 
 	var failures []error
-	canceled := false
+	canceled := aborted
 	for _, e := range errs {
 		switch {
 		case e == nil:

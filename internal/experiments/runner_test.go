@@ -209,6 +209,39 @@ func TestRunnerCancellationAbortsSweep(t *testing.T) {
 	}
 }
 
+func TestRunAllPreCanceledContext(t *testing.T) {
+	r := NewRunner(Options{Insts: 1000, Parallel: 2})
+	var started atomic.Int64
+	r.sim = func(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, error) {
+		started.Add(1)
+		return &stats.Run{Workload: bench, Cycles: 1, Committed: 1}, nil
+	}
+
+	var jobs []job
+	for _, b := range []string{"a", "b", "c", "d"} {
+		jobs = append(jobs, job{b, nas(config.Naive)})
+	}
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+
+	t0 := time.Now()
+	err := r.runAll(ctx, jobs)
+	elapsed := time.Since(t0)
+
+	// Submission is ctx-aware: a sweep handed a dead context reports the
+	// cancellation instead of nil, runs no simulations, and returns
+	// without waiting on anything.
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("runAll on pre-canceled ctx = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n != 0 {
+		t.Errorf("%d sims started under a pre-canceled ctx, want 0", n)
+	}
+	if elapsed > time.Second {
+		t.Errorf("pre-canceled runAll took %v, want immediate return", elapsed)
+	}
+}
+
 func TestRunnerDeadline(t *testing.T) {
 	r := NewRunner(Options{Insts: 1000, Parallel: 1})
 	r.sim = func(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, error) {

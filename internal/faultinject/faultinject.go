@@ -32,6 +32,10 @@ const (
 	// SiteJournalAppend fires before a journal entry is framed and
 	// written (an injected error must not abort the sweep).
 	SiteJournalAppend = "journal.append"
+	// SiteProbeClose fires as atomicio.ProbeDir closes its probe file,
+	// standing in for a close-time write failure (quota, I/O error at
+	// flush) that the probe exists to surface.
+	SiteProbeClose = "atomicio.probeclose"
 )
 
 // Kind selects what an armed plan injects when it fires.

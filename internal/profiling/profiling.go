@@ -25,7 +25,7 @@ func Start(cpuPath, memPath, tracePath string) (stop func() error, err error) {
 			return nil, err
 		}
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
-			cpuFile.Close()
+			cpuFile.Close() //md:errok cleanup on an already-failing start; nothing was profiled into the file
 			return nil, fmt.Errorf("start CPU profile: %w", err)
 		}
 	}
@@ -35,15 +35,15 @@ func Start(cpuPath, memPath, tracePath string) (stop func() error, err error) {
 		if err != nil {
 			if cpuFile != nil {
 				pprof.StopCPUProfile()
-				cpuFile.Close()
+				cpuFile.Close() //md:errok unwinding an already-failing Start; the partial CPU profile is abandoned
 			}
 			return nil, err
 		}
 		if err := trace.Start(traceFile); err != nil {
-			traceFile.Close()
+			traceFile.Close() //md:errok cleanup on an already-failing trace start; nothing was traced into the file
 			if cpuFile != nil {
 				pprof.StopCPUProfile()
-				cpuFile.Close()
+				cpuFile.Close() //md:errok unwinding an already-failing Start; the partial CPU profile is abandoned
 			}
 			return nil, fmt.Errorf("start execution trace: %w", err)
 		}
@@ -66,10 +66,15 @@ func Start(cpuPath, memPath, tracePath string) (stop func() error, err error) {
 			if err != nil {
 				return err
 			}
-			defer f.Close()
 			runtime.GC() // report live heap, not transient garbage
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close() //md:errok cleanup on an already-failing profile write; the write error is the one reported
 				return fmt.Errorf("write heap profile: %w", err)
+			}
+			// The profile only exists once the close flushes cleanly; a
+			// deferred-and-dropped close could hand back a truncated file.
+			if err := f.Close(); err != nil {
+				return err
 			}
 		}
 		return nil

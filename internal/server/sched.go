@@ -53,7 +53,7 @@ type scheduler struct {
 	// read side while enqueueing so close cannot pull the channel out
 	// from under a send in flight.
 	closing sync.RWMutex
-	closed  bool
+	closed  bool //md:guardedby closing
 	wg      sync.WaitGroup
 }
 
@@ -72,14 +72,14 @@ func (s *scheduler) worker() {
 		if err := t.ctx.Err(); err != nil {
 			// The client gave up while the task sat in the queue; do not
 			// spend the simulation budget on it.
-			t.done <- taskResult{t: t, err: err}
+			t.done <- taskResult{t: t, err: err} //md:ctxok task.done is buffered by the submitter with room for every result (task contract above)
 			continue
 		}
 		if t.started != nil {
 			t.started(t)
 		}
 		res, src, err := s.runner.RunGuarded(t.ctx, t.bench, t.cfg)
-		t.done <- taskResult{t: t, res: res, src: src, err: err}
+		t.done <- taskResult{t: t, res: res, src: src, err: err} //md:ctxok task.done is buffered by the submitter with room for every result (task contract above)
 	}
 }
 

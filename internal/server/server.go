@@ -339,10 +339,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			for _, c := range req.Configs {
 				t := &task{
 					bench: b, cfg: c, ctx: r.Context(), done: done,
-					started: func(t *task) { started <- t },
+					started: func(t *task) { started <- t }, //md:ctxok started is buffered with one slot per cell; each task signals start at most once
 				}
 				if err := s.sched.submit(r.Context(), t); err != nil {
-					done <- taskResult{t: t, err: err}
+					done <- taskResult{t: t, err: err} //md:ctxok done is buffered with one slot per cell; each cell produces exactly one result
 				}
 			}
 		}
