@@ -53,7 +53,8 @@ func main() {
 	workers := flag.Int("workers", 0, "scheduler worker pool size (default: -par)")
 	queue := flag.Int("queue", server.DefaultQueueDepth, "bounded work-queue depth; beyond it requests get 503")
 	journalDir := flag.String("journal", "", "checkpoint directory: journal finished cells and re-prime the cache from it on restart")
-	recDir := flag.String("recdir", "", "recording cache directory: mmap per-benchmark columnar recordings, shared read-only across server processes")
+	recDir := flag.String("recdir", "", "recording and warm-state cache directory: mmap per-benchmark columnar recordings and share warmed checkpoint sets across server processes")
+	phases := flag.Int("phases", 0, "with -sampled, simulate only this many phase-representative segments per benchmark (BBV k-means), weighted by cluster size; 0 = all segments")
 	retries := flag.Int("retries", 0, "attempts per cell before a transient failure abandons it (default 3)")
 	drain := flag.Duration("drain", time.Minute, "maximum time to wait for in-flight requests on shutdown")
 	quiet := flag.Bool("quiet", false, "suppress per-request lifecycle logging")
@@ -73,6 +74,13 @@ func main() {
 		}
 		opt.Sampled = true
 		opt.TimingWindow, opt.FunctionalWindow = tw, fw
+	}
+	if *phases > 0 {
+		if !opt.Sampled {
+			fatal(fmt.Errorf("-phases requires -sampled"))
+		}
+		opt.PhaseSampled = true
+		opt.Phases = *phases
 	}
 
 	// The journal persists the cache across restarts. It must be opened

@@ -131,6 +131,7 @@ func ByName(names string, candidates []*Analyzer) ([]*Analyzer, error) {
 // analyzer is applied to exactly these.
 var DeterministicPackages = []string{
 	"internal/atomicio",
+	"internal/ckpt",
 	"internal/core",
 	"internal/emu",
 	"internal/faultinject",

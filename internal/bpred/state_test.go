@@ -1,0 +1,90 @@
+package bpred
+
+import (
+	"reflect"
+	"testing"
+)
+
+// trainStream runs a deterministic pseudo-random branch stream through
+// the predictor, touching direction tables, history, BTB and RAS.
+func trainStream(p *Predictor, n int, seed uint64) {
+	rng := seed
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for i := 0; i < n; i++ {
+		v := next()
+		pc := uint32(v) &^ 3
+		switch v >> 61 {
+		case 0:
+			p.PushReturn(pc + 4)
+		case 1:
+			p.PopReturn()
+		case 2:
+			p.UpdateTarget(pc, pc+uint32(v>>32)&0xffff)
+		default:
+			hist := p.History()
+			pred := p.PredictDirection(pc)
+			p.SpeculateHistory(pred)
+			p.Resolve(pc, hist, pred, v&(1<<40) != 0)
+		}
+	}
+}
+
+func TestPredictorStateRoundTrip(t *testing.T) {
+	for _, kind := range []Kind{Combined, GShare, Bimodal, StaticTaken} {
+		cfg := Default()
+		cfg.Kind = kind
+		src := New(cfg)
+		trainStream(src, 50000, 7)
+
+		b := src.AppendState(nil)
+		if len(b) != src.StateLen() {
+			t.Fatalf("%v: state length = %d, want %d", kind, len(b), src.StateLen())
+		}
+		dst := New(cfg)
+		n, err := dst.RestoreState(b)
+		if err != nil {
+			t.Fatalf("%v: RestoreState: %v", kind, err)
+		}
+		if n != len(b) {
+			t.Fatalf("%v: consumed %d of %d bytes", kind, n, len(b))
+		}
+		if !reflect.DeepEqual(src, dst) {
+			t.Fatalf("%v: restored predictor differs from source", kind)
+		}
+
+		// Restored predictors must stay bit-identical under further use.
+		trainStream(src, 10000, 11)
+		trainStream(dst, 10000, 11)
+		if !reflect.DeepEqual(src, dst) {
+			t.Fatalf("%v: predictors diverged after restore", kind)
+		}
+	}
+}
+
+func TestPredictorRestoreValidates(t *testing.T) {
+	src := New(Default())
+	trainStream(src, 1000, 3)
+	b := src.AppendState(nil)
+
+	if _, err := src.RestoreState(b[:len(b)-1]); err != ErrStateTruncated {
+		t.Fatalf("truncated: err = %v, want ErrStateTruncated", err)
+	}
+	if _, err := src.RestoreState(b[:4]); err != ErrStateTruncated {
+		t.Fatalf("short header: err = %v, want ErrStateTruncated", err)
+	}
+	small := Default()
+	small.TableEntries = 1024
+	fresh := New(small)
+	pristine := New(small)
+	if _, err := fresh.RestoreState(b); err != ErrStateGeometry {
+		t.Fatalf("geometry: err = %v, want ErrStateGeometry", err)
+	}
+	if !reflect.DeepEqual(fresh, pristine) {
+		t.Fatal("failed restore mutated the predictor")
+	}
+}

@@ -1,0 +1,174 @@
+package ckpt
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mdspec/internal/config"
+	"mdspec/internal/emu"
+	"mdspec/internal/workload"
+)
+
+func testRecording(t *testing.T, bench string, n int64) (*emu.Recording, uint64) {
+	t.Helper()
+	p := workload.MustBuild(bench)
+	rec := emu.NewRecording(emu.New(p))
+	rec.Record(n)
+	return rec, emu.ProgramFingerprint(p)
+}
+
+func TestBuildAndRoundTrip(t *testing.T) {
+	rec, fp := testRecording(t, "129.compress", 50_000)
+	cfg := config.Default128().WithPolicy(config.Sync)
+
+	seqs := []int64{10_000, 25_000, 40_000}
+	set, err := Build(cfg, rec, fp, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := set.Seqs(); !reflect.DeepEqual(got, seqs) {
+		t.Fatalf("frame positions = %v, want %v", got, seqs)
+	}
+	for i := 1; i < len(set.Frames); i++ {
+		if len(set.Frames[i].State) != len(set.Frames[0].State) {
+			t.Fatal("frames have unequal state lengths")
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "c.mdckpt")
+	if err := set.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != set.SizeBytes() {
+		t.Fatalf("file size %d != SizeBytes %d", fi.Size(), set.SizeBytes())
+	}
+
+	got, err := OpenFile(path, fp, set.WarmHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(set, got) {
+		t.Fatal("decoded set differs from written set")
+	}
+
+	// Determinism: a second capture pass yields byte-identical frames.
+	set2, err := Build(cfg, rec, fp, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(set, set2) {
+		t.Fatal("re-captured set differs: capture is not deterministic")
+	}
+}
+
+func TestOpenFileRejects(t *testing.T) {
+	rec, fp := testRecording(t, "102.swim", 20_000)
+	cfg := config.Default128()
+	set, err := Build(cfg, rec, fp, []int64{5_000, 15_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.mdckpt")
+	if err := set.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Missing file: a cache miss, not corruption.
+	if _, err := OpenFile(filepath.Join(dir, "nope.mdckpt"), fp, set.WarmHash); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing file: err = %v, want fs.ErrNotExist", err)
+	}
+	// Wrong identity: mismatch, not corruption.
+	if _, err := OpenFile(path, fp+1, set.WarmHash); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("wrong recording: err = %v, want ErrMismatch", err)
+	}
+	if _, err := OpenFile(path, fp, set.WarmHash+1); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("wrong warm config: err = %v, want ErrMismatch", err)
+	}
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		c := mutate(append([]byte(nil), b...))
+		if _, err := Parse(c, fp, set.WarmHash); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	corrupt("bad magic", func(c []byte) []byte { c[0] ^= 0xff; return c })
+	corrupt("torn file", func(c []byte) []byte { return c[:len(c)-7] })
+	corrupt("flipped header bit", func(c []byte) []byte { c[25] ^= 1; return c })
+	corrupt("flipped frame byte", func(c []byte) []byte { c[len(c)-100] ^= 1; return c })
+	corrupt("tiny file", func(c []byte) []byte { return c[:10] })
+
+	// The original file still parses after all that (mutations copied).
+	if _, err := Parse(b, fp, set.WarmHash); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNearest(t *testing.T) {
+	s := &Set{Frames: []Frame{{Seq: 100}, {Seq: 500}, {Seq: 900}}}
+	for _, tc := range []struct {
+		target int64
+		want   int64 // 0 = nil
+	}{
+		{50, 0}, {99, 0}, {100, 100}, {101, 100}, {499, 100},
+		{500, 500}, {899, 500}, {900, 900}, {1e9, 900},
+	} {
+		f := s.Nearest(tc.target)
+		switch {
+		case tc.want == 0 && f != nil:
+			t.Errorf("Nearest(%d) = frame %d, want nil", tc.target, f.Seq)
+		case tc.want != 0 && (f == nil || f.Seq != tc.want):
+			t.Errorf("Nearest(%d) = %v, want seq %d", tc.target, f, tc.want)
+		}
+	}
+	if f := (&Set{}).Nearest(10); f != nil {
+		t.Error("empty set must have no nearest frame")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	// 200k timing at 5k:10k, 4 periods/segment, 5k warm-up: segments
+	// start every 60k; warm targets are 60k*k - 5k.
+	got := Positions(200_000, 5_000, 10_000, 4, 5_000)
+	want := []int64{55_000, 115_000, 175_000, 235_000, 295_000, 355_000, 415_000, 475_000, 535_000}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Positions = %v, want %v", got, want)
+	}
+	if p := Positions(10_000, 5_000, 10_000, 4, 5_000); p != nil {
+		t.Fatalf("single-segment run needs no checkpoints, got %v", p)
+	}
+	if p := Positions(0, 5_000, 10_000, 4, 0); p != nil {
+		t.Fatalf("degenerate inputs: got %v", p)
+	}
+}
+
+func TestBuildStopsAtTraceEnd(t *testing.T) {
+	p := workload.KernelRecurrence(100) // a short trace
+	rec := emu.NewRecording(emu.New(p))
+	rec.Record(1 << 20)
+	fp := emu.ProgramFingerprint(p)
+
+	set, err := Build(config.Default128(), rec, fp, []int64{100, 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Frames) != 1 || set.Frames[0].Seq != 100 {
+		t.Fatalf("frames = %v, want exactly one at 100", set.Seqs())
+	}
+	if _, err := Build(config.Default128(), rec, fp, []int64{200, 100}); err == nil {
+		t.Fatal("non-ascending capture positions must error")
+	}
+}

@@ -1,0 +1,81 @@
+//go:build mdfault
+
+package ckpt
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"mdspec/internal/config"
+	"mdspec/internal/faultinject"
+)
+
+// TestInjectedWriteFault: an injected ckpt.write error must surface
+// from WriteFile without publishing anything — a previously published
+// file stays intact byte for byte.
+func TestInjectedWriteFault(t *testing.T) {
+	rec, fp := testRecording(t, "129.compress", 30_000)
+	cfg := config.Default128().WithPolicy(config.Sync)
+	set, err := Build(cfg, rec, fp, []int64{10_000, 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/c.mdckpt"
+	if err := set.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Arm(faultinject.Plan{
+		Site: faultinject.SiteCkptWrite, N: 1, Kind: faultinject.KindError,
+	})
+	defer faultinject.Disarm()
+
+	var inj *faultinject.InjectedError
+	if err := set.WriteFile(path); !errors.As(err, &inj) {
+		t.Fatalf("WriteFile under an armed ckpt.write plan returned %v, want injected error", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("failed write modified the previously published file")
+	}
+}
+
+// TestInjectedLoadFault: an injected ckpt.load error must surface from
+// OpenFile as damage (not a cache miss), so callers re-capture.
+func TestInjectedLoadFault(t *testing.T) {
+	rec, fp := testRecording(t, "129.compress", 30_000)
+	cfg := config.Default128().WithPolicy(config.Sync)
+	set, err := Build(cfg, rec, fp, []int64{10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/c.mdckpt"
+	if err := set.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Arm(faultinject.Plan{
+		Site: faultinject.SiteCkptLoad, N: 1, Kind: faultinject.KindError,
+	})
+	defer faultinject.Disarm()
+
+	var inj *faultinject.InjectedError
+	if _, err := OpenFile(path, fp, set.WarmHash); !errors.As(err, &inj) {
+		t.Fatalf("OpenFile under an armed ckpt.load plan returned %v, want injected error", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("load fault must not touch the file itself: %v", err)
+	}
+	// The plan was one-shot: the next open succeeds on the intact file.
+	if _, err := OpenFile(path, fp, set.WarmHash); err != nil {
+		t.Fatalf("reopen after the one-shot fault failed: %v", err)
+	}
+}

@@ -1,0 +1,294 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"mdspec/internal/emu"
+	"mdspec/internal/isa"
+)
+
+// Phase-aware segment selection, SimPoint-style: fingerprint each
+// segment of the sampled decomposition with a basic-block vector (BBV),
+// cluster the vectors with a deterministic seeded k-means, and simulate
+// only one representative segment per cluster, weighted by the cluster's
+// population. Everything here is bit-deterministic for fixed inputs —
+// the PRNG is an explicit xorshift64 seeded by the caller, ties break
+// toward the lowest index, and no map is ever iterated — so the same
+// recording always yields the same plan (a property the test suite
+// enforces run-to-run).
+
+// BBVDims is the default basic-block-vector dimensionality. Block start
+// PCs are hashed into this many buckets; 64 dimensions is far above the
+// handful of phases short traces exhibit while keeping the vectors cheap.
+const BBVDims = 64
+
+// SegmentBBVs fingerprints each stream segment [k*segInsts,
+// (k+1)*segInsts) of [0, horizon) with an L1-normalized basic-block
+// vector: every basic block observed in the segment adds its dynamic
+// instruction count to the bucket its start PC hashes into. The final
+// partial segment (if any) is fingerprinted too; segments past the
+// recording's end are dropped.
+func SegmentBBVs(rec emu.ReplaySource, horizon, segInsts int64, dims int) ([][]float64, error) {
+	if segInsts <= 0 || dims <= 0 {
+		return nil, fmt.Errorf("ckpt: invalid BBV shape (segment %d, dims %d)", segInsts, dims)
+	}
+	tr := rec.NewReplay()
+	var vecs [][]float64
+	for segStart := int64(0); segStart < horizon; segStart += segInsts {
+		segEnd := segStart + segInsts
+		if segEnd > horizon {
+			segEnd = horizon
+		}
+		vec := make([]float64, dims)
+		var total, blockLen int64
+		var blockStart uint32
+		inBlock := false
+		seq := segStart
+		for ; seq < segEnd; seq++ {
+			d := tr.At(seq)
+			if d == nil {
+				break // recording ended mid-segment
+			}
+			if !inBlock {
+				blockStart, blockLen, inBlock = d.PC, 0, true
+			}
+			blockLen++
+			total++
+			if d.Taken || d.NextPC != d.PC+isa.InstBytes {
+				vec[bbvBucket(blockStart, dims)] += float64(blockLen)
+				inBlock = false
+			}
+		}
+		if inBlock {
+			vec[bbvBucket(blockStart, dims)] += float64(blockLen)
+		}
+		if total == 0 {
+			break // segment fully past the end: stop here
+		}
+		for i := range vec {
+			vec[i] /= float64(total)
+		}
+		vecs = append(vecs, vec)
+		tr.Release(seq)
+		if seq < segEnd {
+			break
+		}
+	}
+	return vecs, nil
+}
+
+// bbvBucket hashes a basic-block start PC into a vector dimension
+// (FNV-1a over the PC's four little-endian bytes).
+func bbvBucket(pc uint32, dims int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 4; i++ {
+		h ^= uint64(byte(pc >> (8 * i)))
+		h *= prime64
+	}
+	return int(h % uint64(dims))
+}
+
+// xorshift64 is the package's explicit, seedable PRNG: determinism-
+// scoped code cannot use math/rand's global state, and clustering must
+// reproduce bit-exactly across runs and platforms.
+type xorshift64 uint64
+
+func (x *xorshift64) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift64(v)
+	return v
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Cluster partitions vecs into at most k clusters with seeded
+// k-means++ initialization and at most 64 Lloyd iterations, returning
+// one cluster index per vector. Deterministic for fixed inputs: the
+// PRNG is seeded explicitly and all ties break toward the lowest index.
+func Cluster(vecs [][]float64, k int, seed uint64) []int {
+	n := len(vecs)
+	if n == 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	rng := xorshift64(seed | 1) // a zero seed must not wedge the PRNG
+
+	// k-means++ seeding: first center uniform, then proportional to
+	// squared distance from the nearest chosen center.
+	centers := make([][]float64, 0, k)
+	centers = append(centers, vecs[rng.next()%uint64(n)])
+	dist := make([]float64, n)
+	for len(centers) < k {
+		var sum float64
+		for i, v := range vecs {
+			dist[i] = sqDist(v, centers[0])
+			for _, c := range centers[1:] {
+				if d := sqDist(v, c); d < dist[i] {
+					dist[i] = d
+				}
+			}
+			sum += dist[i]
+		}
+		if sum == 0 {
+			break // fewer distinct vectors than clusters
+		}
+		// Draw a point with probability dist/sum, using a 53-bit uniform.
+		r := float64(rng.next()>>11) / (1 << 53) * sum
+		pick := n - 1
+		for i, d := range dist {
+			if r < d {
+				pick = i
+				break
+			}
+			r -= d
+		}
+		centers = append(centers, vecs[pick])
+	}
+	k = len(centers)
+
+	assign := make([]int, n)
+	dims := len(vecs[0])
+	sums := make([][]float64, k)
+	counts := make([]int, k)
+	for i := range sums {
+		sums[i] = make([]float64, dims)
+	}
+	for iter := 0; iter < 64; iter++ {
+		changed := false
+		for i, v := range vecs {
+			best, bestD := 0, sqDist(v, centers[0])
+			for c := 1; c < k; c++ {
+				if d := sqDist(v, centers[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best || iter == 0 {
+				changed = changed || assign[i] != best
+				assign[i] = best
+			}
+		}
+		if iter > 0 && !changed {
+			break
+		}
+		for c := 0; c < k; c++ {
+			counts[c] = 0
+			for d := range sums[c] {
+				sums[c][d] = 0
+			}
+		}
+		for i, v := range vecs {
+			c := assign[i]
+			counts[c]++
+			for d := range v {
+				sums[c][d] += v[d]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue // empty cluster: keep its old center
+			}
+			centers[c] = sums[c]
+			for d := range centers[c] {
+				centers[c][d] /= float64(counts[c])
+			}
+			sums[c] = make([]float64, dims)
+		}
+	}
+	return assign
+}
+
+// WeightedSegment selects one segment of the sampled decomposition and
+// the integer weight its statistics are scaled by (the population of
+// the phase cluster it represents).
+type WeightedSegment struct {
+	Index  int
+	Weight int64
+}
+
+// Plan computes the phase-aware simulation plan: cluster the segment
+// BBVs into (at most) phases clusters and pick, per cluster, the
+// segment closest to the cluster centroid as its representative,
+// weighted by cluster population. The plan is sorted by ascending
+// segment index and covers every segment's weight exactly once
+// (weights sum to len(vecs)).
+func Plan(vecs [][]float64, phases int, seed uint64) []WeightedSegment {
+	n := len(vecs)
+	if n == 0 {
+		return nil
+	}
+	assign := Cluster(vecs, phases, seed)
+	k := 0
+	for _, c := range assign {
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	// Centroids of the final assignment.
+	dims := len(vecs[0])
+	cent := make([][]float64, k)
+	counts := make([]int64, k)
+	for i := range cent {
+		cent[i] = make([]float64, dims)
+	}
+	for i, v := range vecs {
+		c := assign[i]
+		counts[c]++
+		for d := range v {
+			cent[c][d] += v[d]
+		}
+	}
+	for c := range cent {
+		if counts[c] > 0 {
+			for d := range cent[c] {
+				cent[c][d] /= float64(counts[c])
+			}
+		}
+	}
+	// Representative: the lowest-index vector minimizing distance to its
+	// cluster centroid.
+	rep := make([]int, k)
+	repD := make([]float64, k)
+	for c := range rep {
+		rep[c] = -1
+	}
+	for i, v := range vecs {
+		c := assign[i]
+		d := sqDist(v, cent[c])
+		if rep[c] < 0 || d < repD[c] {
+			rep[c], repD[c] = i, d
+		}
+	}
+	plan := make([]WeightedSegment, 0, k)
+	for c := 0; c < k; c++ {
+		if rep[c] >= 0 {
+			plan = append(plan, WeightedSegment{Index: rep[c], Weight: counts[c]})
+		}
+	}
+	// Sort by segment index (insertion sort: k is tiny, and the sort
+	// package is off-limits on determinism-scoped hot paths).
+	for i := 1; i < len(plan); i++ {
+		for j := i; j > 0 && plan[j].Index < plan[j-1].Index; j-- {
+			plan[j], plan[j-1] = plan[j-1], plan[j]
+		}
+	}
+	return plan
+}

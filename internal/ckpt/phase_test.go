@@ -1,0 +1,125 @@
+package ckpt
+
+import (
+	"reflect"
+	"testing"
+
+	"mdspec/internal/emu"
+	"mdspec/internal/workload"
+)
+
+func TestSegmentBBVs(t *testing.T) {
+	p := workload.MustBuild("129.compress")
+	rec := emu.NewRecording(emu.New(p))
+	rec.Record(60_000)
+
+	vecs, err := SegmentBBVs(rec, 60_000, 15_000, BBVDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vecs) != 4 {
+		t.Fatalf("got %d vectors, want 4", len(vecs))
+	}
+	for i, v := range vecs {
+		if len(v) != BBVDims {
+			t.Fatalf("vector %d has %d dims", i, len(v))
+		}
+		var sum float64
+		for _, x := range v {
+			if x < 0 {
+				t.Fatalf("vector %d has a negative component", i)
+			}
+			sum += x
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("vector %d is not L1-normalized (sum %f)", i, sum)
+		}
+	}
+
+	// Determinism: identical recording, identical vectors.
+	vecs2, err := SegmentBBVs(rec, 60_000, 15_000, BBVDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(vecs, vecs2) {
+		t.Fatal("BBV extraction is not deterministic")
+	}
+
+	if _, err := SegmentBBVs(rec, 60_000, 0, BBVDims); err == nil {
+		t.Fatal("zero segment size must error")
+	}
+}
+
+func TestClusterDeterministicAndSane(t *testing.T) {
+	// Three obvious groups in 2-D.
+	var vecs [][]float64
+	for i := 0; i < 5; i++ {
+		f := float64(i) * 0.01
+		vecs = append(vecs, []float64{1 - f, f})
+		vecs = append(vecs, []float64{f, 1 - f})
+		vecs = append(vecs, []float64{0.5 + f, 0.5 - f})
+	}
+	a := Cluster(vecs, 3, 42)
+	b := Cluster(vecs, 3, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("clustering is not deterministic for a fixed seed")
+	}
+	// Members of the same planted group must share a cluster.
+	for g := 0; g < 3; g++ {
+		for i := 1; i < 5; i++ {
+			if a[3*i+g] != a[g] {
+				t.Fatalf("planted group %d split across clusters: %v", g, a)
+			}
+		}
+	}
+	// Different planted groups must not collapse into one cluster.
+	if a[0] == a[1] && a[1] == a[2] {
+		t.Fatalf("all groups in one cluster: %v", a)
+	}
+
+	if got := Cluster(nil, 3, 1); got != nil {
+		t.Fatal("empty input must produce nil")
+	}
+	if got := Cluster(vecs[:2], 5, 1); len(got) != 2 {
+		t.Fatal("k > n must clamp")
+	}
+}
+
+func TestPlanCoversAllWeight(t *testing.T) {
+	p := workload.MustBuild("102.swim")
+	rec := emu.NewRecording(emu.New(p))
+	rec.Record(120_000)
+
+	vecs, err := SegmentBBVs(rec, 120_000, 15_000, BBVDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := Plan(vecs, 3, 1)
+	if len(plan) == 0 || len(plan) > 3 {
+		t.Fatalf("plan has %d entries, want 1..3", len(plan))
+	}
+	var total int64
+	last := -1
+	for _, ws := range plan {
+		if ws.Index <= last {
+			t.Fatalf("plan not sorted by ascending index: %v", plan)
+		}
+		last = ws.Index
+		if ws.Index < 0 || ws.Index >= len(vecs) {
+			t.Fatalf("plan references segment %d of %d", ws.Index, len(vecs))
+		}
+		if ws.Weight <= 0 {
+			t.Fatalf("non-positive weight in %v", plan)
+		}
+		total += ws.Weight
+	}
+	if total != int64(len(vecs)) {
+		t.Fatalf("plan weights sum to %d, want %d", total, len(vecs))
+	}
+
+	// Same recording, same seed: same plan, run to run.
+	plan2 := Plan(vecs, 3, 1)
+	if !reflect.DeepEqual(plan, plan2) {
+		t.Fatal("phase plan is not deterministic")
+	}
+}

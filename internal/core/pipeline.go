@@ -338,17 +338,12 @@ func New(cfg config.Machine, trace emu.Stream) (*Pipeline, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	h := cache.Table2()
-	if cfg.PerfectCaches {
-		h = cache.Perfect()
-	}
-	bpCfg := bpred.Default()
-	bpCfg.Kind = cfg.BranchPredictor
+	h, bp := newWarmState(cfg.PerfectCaches, cfg.BranchPredictor)
 	p := &Pipeline{
 		cfg:             cfg,
 		trace:           trace,
 		hier:            h,
-		bp:              bpred.New(bpCfg),
+		bp:              bp,
 		blockedOnBranch: noSeq,
 	}
 	w := cfg.Window

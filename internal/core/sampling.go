@@ -66,6 +66,10 @@ func (p *Pipeline) RunSampledInterval(start, end, timingInsts, functionalInsts, 
 	if warmupInsts > start {
 		warmupInsts = start
 	}
+	if p.warm.seq > start-warmupInsts {
+		return nil, fmt.Errorf("core: restored warm state at %d is past the warm-up start %d",
+			p.warm.seq, start-warmupInsts)
+	}
 	period := timingInsts + functionalInsts
 	maxCycles := (end-start+warmupInsts)*200 + 100_000
 	p.prewarm(start - warmupInsts)
@@ -156,9 +160,15 @@ func (p *Pipeline) checkSampled(timingInsts, functionalInsts int64) error {
 // the statistics: nothing is counted as skipped, and the cache and
 // memory counters are reset afterwards, so the pipeline reports only its
 // own segment's behavior.
+//
+// A pipeline that imported a checkpoint (RestoreWarm) arrives here with
+// its warmer already mid-stream; AdvanceTo then replays only the residue
+// between the checkpoint position and seq, which is the whole point of
+// checkpointing. For a fresh pipeline AdvanceTo(seq) is identical to the
+// full Advance(seq) fast-forward.
 func (p *Pipeline) prewarm(seq int64) {
-	if seq > 0 {
-		p.warm.Advance(seq)
+	if seq > 0 || p.warm.seq > 0 {
+		p.warm.AdvanceTo(seq)
 		p.fetchSeq = p.warm.seq
 		if p.warm.ended {
 			p.markTraceEnd()

@@ -65,6 +65,12 @@ func hostLittleEndian() bool {
 	return *(*byte)(unsafe.Pointer(&x)) == 1
 }
 
+// ProgramFingerprint hashes the static program (entry PC and every
+// instruction) with FNV-1a — the identity under which recordings (and
+// the checkpoint sets derived from them, internal/ckpt) are
+// content-addressed on disk.
+func ProgramFingerprint(p *prog.Program) uint64 { return progFingerprint(p) }
+
 // progFingerprint hashes the static program (entry PC and every
 // instruction) with FNV-1a so a recording can prove it indexes the same
 // code table it was captured from.

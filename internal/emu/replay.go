@@ -194,6 +194,10 @@ func NewRecording(m *Machine) *Recording {
 	return &Recording{m: m, code: m.Program().Code, prog: m.Program(), tail: m.PC()}
 }
 
+// Program returns the static program the recording replays (nil for
+// recordings mapped from disk, which carry only its fingerprint).
+func (r *Recording) Program() *prog.Program { return r.prog }
+
 // length returns the published prefix length and whether the program has
 // ended within it.
 func (r *Recording) length() (int64, bool) {

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mdspec/internal/ckpt"
+	"mdspec/internal/config"
+	"mdspec/internal/emu"
+	"mdspec/internal/parsim"
+	"mdspec/internal/workload"
+)
+
+// ckptOpt is a sampled geometry small enough for tests but with a
+// multi-segment decomposition, so checkpoints actually exist.
+func ckptOpt() Options {
+	return Options{Insts: 24_000, Sampled: true,
+		TimingWindow: 3_000, FunctionalWindow: 6_000, SegmentPeriods: 2}
+}
+
+// ckptFile returns the single .mdckpt file in dir (or fails).
+func ckptFile(t *testing.T, dir string) string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.mdckpt"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("want exactly one .mdckpt in %s, got %v (%v)", dir, files, err)
+	}
+	return files[0]
+}
+
+// TestRunnerCheckpointsBitIdentical is the acceptance criterion at the
+// runner layer: a sampled cell simulated with warm-state checkpoints —
+// in-memory, freshly captured to disk, or reopened from another
+// runner's file — must be bit-identical to the plain interval-parallel
+// run without any checkpoints.
+func TestRunnerCheckpointsBitIdentical(t *testing.T) {
+	const bench = "129.compress"
+	cfg := nas(config.Sync)
+	opt := ckptOpt()
+
+	// Ground truth: parsim without checkpoints over a private recording
+	// (the determinism contract makes recordings interchangeable).
+	p, err := workload.Build(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := parsim.Run(bg, cfg, emu.NewRecording(emu.New(p)), parsim.Options{
+		TotalTiming: opt.Insts, TimingInsts: opt.timingWindow(),
+		FunctionalInsts: opt.functionalWindow(), SegmentPeriods: opt.SegmentPeriods,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Workload = bench
+
+	// In-memory checkpoints (no RecordingDir).
+	mem := NewRunner(opt)
+	res, err := mem.Run(bg, bench, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, res) {
+		t.Errorf("in-memory checkpointed stats differ:\nwant %+v\ngot  %+v", want, res)
+	}
+	if c := mem.Counters(); c.CheckpointMisses != 1 || c.CheckpointHits != 0 {
+		t.Errorf("in-memory counters = %+v, want 1 checkpoint miss", c)
+	}
+
+	// First runner over an empty RecordingDir captures and publishes.
+	dir := t.TempDir()
+	o := opt
+	o.RecordingDir = dir
+	a := NewRunner(o)
+	defer a.Close()
+	res, err = a.Run(bg, bench, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, res) {
+		t.Error("disk-captured checkpointed stats differ from the plain run")
+	}
+	ca := a.Counters()
+	if ca.CheckpointMisses != 1 || ca.CheckpointHits != 0 || ca.CheckpointBytes == 0 {
+		t.Errorf("capture counters = %+v, want 1 miss with bytes published", ca)
+	}
+	if ca.RecordingMisses != 1 || ca.RecordingHits != 0 {
+		t.Errorf("capture counters = %+v, want 1 recording miss", ca)
+	}
+	path := ckptFile(t, dir)
+
+	// Second runner reopens both caches.
+	b := NewRunner(o)
+	defer b.Close()
+	res, err = b.Run(bg, bench, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, res) {
+		t.Error("stats resumed from the shared on-disk checkpoint differ")
+	}
+	cb := b.Counters()
+	if cb.CheckpointHits != 1 || cb.CheckpointMisses != 0 || cb.CheckpointBytes == 0 {
+		t.Errorf("reopen counters = %+v, want 1 checkpoint hit", cb)
+	}
+	if cb.RecordingHits != 1 || cb.RecordingMisses != 0 || cb.RecordingBytes == 0 {
+		t.Errorf("reopen counters = %+v, want 1 recording hit", cb)
+	}
+
+	// A policy ablation shares the same warm class: no second set.
+	if _, err := b.Run(bg, bench, nas(config.Naive)); err != nil {
+		t.Fatal(err)
+	}
+	if c := b.Counters(); c.CheckpointHits != 1 || c.CheckpointMisses != 0 {
+		t.Errorf("counters after policy ablation = %+v, want no new set", c)
+	}
+
+	// A corrupted file silently falls back to functional fast-forward
+	// (identical stats) and is re-captured as a valid file.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := NewRunner(o)
+	defer c.Close()
+	res, err = c.Run(bg, bench, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, res) {
+		t.Error("stats after checkpoint corruption differ — corruption must never change results")
+	}
+	if cc := c.Counters(); cc.CheckpointMisses != 1 || cc.CheckpointHits != 0 {
+		t.Errorf("corruption counters = %+v, want a re-capture miss", cc)
+	}
+	set, err := ckpt.OpenFile(path, emu.ProgramFingerprint(p), ckpt.WarmConfigOf(cfg).Hash())
+	if err != nil {
+		t.Fatalf("corrupted checkpoint file was not re-captured: %v", err)
+	}
+	if len(set.Frames) == 0 {
+		t.Error("re-captured checkpoint file has no frames")
+	}
+}
+
+// TestRunnerPhaseSampled: PhaseSampled sweeps are deterministic across
+// runners, simulate at most Phases representative segments per
+// benchmark, and carry the phase count in the journal fingerprint so
+// phase-weighted journals never prime exhaustive sweeps.
+func TestRunnerPhaseSampled(t *testing.T) {
+	const bench = "102.swim"
+	cfg := nas(config.Sync)
+	opt := ckptOpt()
+	opt.PhaseSampled = true
+	opt.Phases = 2
+
+	a := NewRunner(opt)
+	res1, err := a.Run(bg, bench, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := a.phasePlan(bench)
+	if len(plan) == 0 || len(plan) > opt.Phases {
+		t.Fatalf("plan = %v, want 1..%d representatives", plan, opt.Phases)
+	}
+	var weight int64
+	for _, ws := range plan {
+		weight += ws.Weight
+	}
+	// 8 periods at 2 periods/segment → 4 segments to cover.
+	if weight != 4 {
+		t.Errorf("plan weights sum to %d, want 4 (every segment accounted for)", weight)
+	}
+	// The weighted estimate still spans the full budget.
+	if res1.Committed < opt.Insts {
+		t.Errorf("phase-weighted Committed = %d, want >= %d", res1.Committed, opt.Insts)
+	}
+
+	res2, err := NewRunner(opt).Run(bg, bench, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1, res2) {
+		t.Error("phase-sampled results differ across runners — the plan must be deterministic")
+	}
+
+	if fp := opt.Fingerprint(); fp.Phases != 2 {
+		t.Errorf("Fingerprint.Phases = %d, want 2", fp.Phases)
+	}
+	plain := ckptOpt()
+	if fp := plain.Fingerprint(); fp.Phases != 0 {
+		t.Errorf("non-phase Fingerprint.Phases = %d, want 0", fp.Phases)
+	}
+}
+
+// TestCountersExposeCacheFields: the cache counters must survive JSON
+// round-tripping under their documented names — mdserve /v1/metrics
+// serves exactly this struct.
+func TestCountersExposeCacheFields(t *testing.T) {
+	b, err := json.Marshal(Counters{RecordingHits: 1, RecordingBytes: 2, CheckpointHits: 3, CheckpointBytes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"recording_hits", "recording_misses", "recording_bytes",
+		"checkpoint_hits", "checkpoint_misses", "checkpoint_bytes"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("Counters JSON missing %q", key)
+		}
+	}
+}

@@ -5,6 +5,8 @@ package experiments
 import (
 	"context"
 	"errors"
+	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 
@@ -100,5 +102,107 @@ func TestInjectedJournalAppendError(t *testing.T) {
 	}
 	if len(recs) != 1 || recs[0].Config != "NAS/SYNC" {
 		t.Fatalf("journal replayed %+v, want only the NAS/SYNC cell", recs)
+	}
+}
+
+// faultCkptOpt mirrors ckptOpt from ckpt_test.go with a RecordingDir,
+// at a geometry small enough for tagged CI runs.
+func faultCkptOpt(dir string) Options {
+	o := ckptOpt()
+	o.RecordingDir = dir
+	return o
+}
+
+// TestInjectedCkptWriteError: a seeded error at the ckpt.write site
+// must not fail the cell — the sweep runs on the in-memory set, no
+// file is published, and a later healthy runner re-captures it.
+func TestInjectedCkptWriteError(t *testing.T) {
+	const bench = "129.compress"
+	cfg := nas(config.Sync)
+
+	// Ground truth from an in-memory (never-written) checkpointed run.
+	want, err := NewRunner(ckptOpt()).Run(bg, bench, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	faultinject.Arm(faultinject.Plan{
+		Site: faultinject.SiteCkptWrite, N: 1, Kind: faultinject.KindError,
+	})
+	defer faultinject.Disarm()
+
+	r := NewRunner(faultCkptOpt(dir))
+	defer r.Close()
+	got, err := r.Run(bg, bench, cfg)
+	if err != nil {
+		t.Fatalf("ckpt.write fault must not fail the cell: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("stats under a ckpt.write fault differ from the clean run")
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "*.mdckpt")); len(files) != 0 {
+		t.Errorf("failed checkpoint write still published %v", files)
+	}
+
+	// A healthy runner over the same directory captures the file.
+	faultinject.Disarm()
+	h := NewRunner(faultCkptOpt(dir))
+	defer h.Close()
+	if _, err := h.Run(bg, bench, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "*.mdckpt")); len(files) != 1 {
+		t.Errorf("healthy runner did not re-capture the checkpoint file, got %v", files)
+	}
+}
+
+// TestInjectedCkptLoadError: a seeded error at the ckpt.load site must
+// fall back to functional fast-forward with bit-identical statistics,
+// and the (actually healthy) file is re-captured in place.
+func TestInjectedCkptLoadError(t *testing.T) {
+	const bench = "129.compress"
+	cfg := nas(config.Sync)
+	dir := t.TempDir()
+
+	seed := NewRunner(faultCkptOpt(dir))
+	defer seed.Close()
+	want, err := seed.Run(bg, bench, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.mdckpt"))
+	if len(files) != 1 {
+		t.Fatalf("seed runner published %v, want one checkpoint file", files)
+	}
+
+	faultinject.Arm(faultinject.Plan{
+		Site: faultinject.SiteCkptLoad, N: 1, Kind: faultinject.KindError,
+	})
+	defer faultinject.Disarm()
+
+	r := NewRunner(faultCkptOpt(dir))
+	defer r.Close()
+	got, err := r.Run(bg, bench, cfg)
+	if err != nil {
+		t.Fatalf("ckpt.load fault must not fail the cell: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("stats under a ckpt.load fault differ — the fallback changed results")
+	}
+	c := r.Counters()
+	if c.CheckpointMisses != 1 || c.CheckpointHits != 0 {
+		t.Errorf("counters = %+v, want the load fault counted as a re-capture miss", c)
+	}
+
+	// The re-captured file is valid for the next runner.
+	faultinject.Disarm()
+	h := NewRunner(faultCkptOpt(dir))
+	defer h.Close()
+	if _, err := h.Run(bg, bench, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if hc := h.Counters(); hc.CheckpointHits != 1 || hc.CheckpointMisses != 0 {
+		t.Errorf("counters after re-capture = %+v, want a clean hit", hc)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -25,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mdspec/internal/ckpt"
 	"mdspec/internal/config"
 	"mdspec/internal/core"
 	"mdspec/internal/emu"
@@ -62,6 +64,18 @@ type Options struct {
 	// periods (default parsim.DefaultSegmentPeriods). It fixes the
 	// decomposition, so results are independent of Parallel.
 	SegmentPeriods int
+	// PhaseSampled narrows a sampled sweep to phase-representative
+	// segments: each benchmark's segments are summarized by basic-block
+	// vectors, clustered into Phases groups with deterministic seeded
+	// k-means, and only one representative per cluster is simulated, its
+	// statistics weighted by the cluster population (SimPoint-style).
+	// Requires Sampled; full-timing and split-window cells are
+	// unaffected.
+	PhaseSampled bool
+	// Phases is the phase cluster count (default DefaultPhases). It
+	// bounds, not fixes, how many segments per benchmark are simulated —
+	// benchmarks with fewer segments than Phases run them all.
+	Phases int
 	// Retry bounds how often a cell whose simulation fails transiently
 	// (worker panic, watchdog deadlock report) is re-attempted before
 	// the sweep degrades. The zero value selects retry.Default; the
@@ -89,6 +103,14 @@ func DefaultOptions() Options {
 	return Options{Insts: 150_000}
 }
 
+// DefaultPhases is the default phase cluster count for PhaseSampled
+// sweeps.
+const DefaultPhases = 8
+
+// phaseSeed fixes the k-means initialization so phase plans — and the
+// sweep results built on them — are reproducible across processes.
+const phaseSeed = 0x6d647370
+
 func (o Options) benchmarks() []string {
 	if len(o.Benchmarks) > 0 {
 		return o.Benchmarks
@@ -115,6 +137,29 @@ func (o Options) functionalWindow() int64 {
 		return o.FunctionalWindow
 	}
 	return 2 * o.timingWindow()
+}
+
+func (o Options) segmentPeriods() int {
+	if o.SegmentPeriods > 0 {
+		return o.SegmentPeriods
+	}
+	return parsim.DefaultSegmentPeriods
+}
+
+func (o Options) phases() int {
+	if o.Phases > 0 {
+		return o.Phases
+	}
+	return DefaultPhases
+}
+
+// checkpointSeqs is the warm-state checkpoint schedule these options
+// induce: one frame at each interval-parallel segment's warm-up start,
+// so a resumed segment fast-forwards zero residue. parsim defaults the
+// warm-up length to the timing window.
+func (o Options) checkpointSeqs() []int64 {
+	return ckpt.Positions(o.Insts, o.timingWindow(), o.functionalWindow(),
+		int64(o.segmentPeriods()), o.timingWindow())
 }
 
 // Hooks are optional progress callbacks a Runner invokes around each
@@ -148,6 +193,20 @@ type Counters struct {
 	// Replayed counts cells served from a resumed journal instead of
 	// being re-simulated.
 	Replayed int64 `json:"replayed"`
+	// RecordingHits/Misses/Bytes track the on-disk recording cache
+	// (RecordingDir): a hit reuses an existing .mdrec file, a miss
+	// captures and rewrites it, and bytes counts data served from or
+	// published to disk.
+	RecordingHits   int64 `json:"recording_hits"`
+	RecordingMisses int64 `json:"recording_misses"`
+	RecordingBytes  int64 `json:"recording_bytes"`
+	// CheckpointHits/Misses/Bytes track the warmed-state checkpoint
+	// cache the same way: a hit reopens a valid .mdckpt file, a miss
+	// re-captures the warm state with a functional pass (and rewrites
+	// the file when RecordingDir is set).
+	CheckpointHits   int64 `json:"checkpoint_hits"`
+	CheckpointMisses int64 `json:"checkpoint_misses"`
+	CheckpointBytes  int64 `json:"checkpoint_bytes"`
 	// SimSeconds is the summed wall time of all finished simulations
 	// (CPU-parallel, so it exceeds elapsed time on multicore sweeps).
 	SimSeconds float64 `json:"sim_seconds"`
@@ -160,17 +219,21 @@ type Runner struct {
 	opt Options
 
 	mu         sync.Mutex
-	progs      map[string]*prog.Program    //md:guardedby mu
-	recs       map[string]emu.ReplaySource //md:guardedby mu
-	cache      map[runKey]*stats.Run       //md:guardedby mu
-	hashes     map[config.Machine]string   //md:guardedby mu
-	inflight   map[runKey]*call            //md:guardedby mu
-	records    []RunRecord                 //md:guardedby mu
-	recordIdx  map[runKeyID]int            //md:guardedby mu
-	primed     map[runKeyID]RunRecord      //md:guardedby mu
-	abandoned  []AbandonedCell             //md:guardedby mu
-	abandonSet map[runKeyID]bool           //md:guardedby mu
-	journalErr error                       //md:guardedby mu
+	progs      map[string]*prog.Program          //md:guardedby mu
+	recs       map[string]emu.ReplaySource       //md:guardedby mu
+	cache      map[runKey]*stats.Run             //md:guardedby mu
+	hashes     map[config.Machine]string         //md:guardedby mu
+	inflight   map[runKey]*call                  //md:guardedby mu
+	ckpts      map[ckptKey]*ckpt.Set             //md:guardedby mu
+	ckptBusy   map[ckptKey]chan struct{}         //md:guardedby mu
+	plans      map[string][]ckpt.WeightedSegment //md:guardedby mu
+	planBusy   map[string]chan struct{}          //md:guardedby mu
+	records    []RunRecord                       //md:guardedby mu
+	recordIdx  map[runKeyID]int                  //md:guardedby mu
+	primed     map[runKeyID]RunRecord            //md:guardedby mu
+	abandoned  []AbandonedCell                   //md:guardedby mu
+	abandonSet map[runKeyID]bool                 //md:guardedby mu
+	journalErr error                             //md:guardedby mu
 
 	jobsStarted  atomic.Int64
 	jobsFinished atomic.Int64
@@ -179,6 +242,12 @@ type Runner struct {
 	cacheHits    atomic.Int64
 	cacheMisses  atomic.Int64
 	replayed     atomic.Int64
+	recHits      atomic.Int64
+	recMisses    atomic.Int64
+	recBytes     atomic.Int64
+	ckptHits     atomic.Int64
+	ckptMisses   atomic.Int64
+	ckptBytes    atomic.Int64
 	simNanos     atomic.Int64
 
 	// sem is the runner's parallelism budget, shared between sweep jobs
@@ -206,6 +275,14 @@ type runKey struct {
 	cfg   config.Machine
 }
 
+// ckptKey identifies one warmed-state checkpoint set: functional
+// warming sees only the warm configuration class, so every policy
+// ablation of a sweep shares one set per benchmark.
+type ckptKey struct {
+	bench string
+	warm  ckpt.WarmConfig
+}
+
 // call is an in-flight simulation that duplicate requests wait on.
 type call struct {
 	done chan struct{}
@@ -225,6 +302,10 @@ func NewRunner(opt Options) *Runner {
 		cache:      make(map[runKey]*stats.Run),
 		hashes:     make(map[config.Machine]string),
 		inflight:   make(map[runKey]*call),
+		ckpts:      make(map[ckptKey]*ckpt.Set),
+		ckptBusy:   make(map[ckptKey]chan struct{}),
+		plans:      make(map[string][]ckpt.WeightedSegment),
+		planBusy:   make(map[string]chan struct{}),
 		recordIdx:  make(map[runKeyID]int),
 		primed:     make(map[runKeyID]RunRecord),
 		abandonSet: make(map[runKeyID]bool),
@@ -254,14 +335,20 @@ func (r *Runner) Options() Options { return r.opt }
 // Counters returns a snapshot of the runner's lifetime metrics.
 func (r *Runner) Counters() Counters {
 	return Counters{
-		JobsStarted:  r.jobsStarted.Load(),
-		JobsFinished: r.jobsFinished.Load(),
-		JobsFailed:   r.jobsFailed.Load(),
-		JobsRetried:  r.jobsRetried.Load(),
-		CacheHits:    r.cacheHits.Load(),
-		CacheMisses:  r.cacheMisses.Load(),
-		Replayed:     r.replayed.Load(),
-		SimSeconds:   time.Duration(r.simNanos.Load()).Seconds(),
+		JobsStarted:      r.jobsStarted.Load(),
+		JobsFinished:     r.jobsFinished.Load(),
+		JobsFailed:       r.jobsFailed.Load(),
+		JobsRetried:      r.jobsRetried.Load(),
+		CacheHits:        r.cacheHits.Load(),
+		CacheMisses:      r.cacheMisses.Load(),
+		Replayed:         r.replayed.Load(),
+		RecordingHits:    r.recHits.Load(),
+		RecordingMisses:  r.recMisses.Load(),
+		RecordingBytes:   r.recBytes.Load(),
+		CheckpointHits:   r.ckptHits.Load(),
+		CheckpointMisses: r.ckptMisses.Load(),
+		CheckpointBytes:  r.ckptBytes.Load(),
+		SimSeconds:       time.Duration(r.simNanos.Load()).Seconds(),
 	}
 }
 
@@ -375,14 +462,18 @@ func (r *Runner) recording(bench string) (emu.ReplaySource, error) {
 func (r *Runner) fileRecording(bench string, p *prog.Program) emu.ReplaySource {
 	path := filepath.Join(r.opt.RecordingDir, bench+".mdrec")
 	if f, err := emu.OpenRecordingFile(path, p); err == nil {
+		r.recHits.Add(1)
+		r.recBytes.Add(f.SizeBytes())
 		return f
 	}
+	r.recMisses.Add(1)
 	rec := emu.NewRecording(emu.New(p))
 	rec.Record(r.opt.captureHorizon())
 	if err := writeRecordingFile(path, rec); err != nil {
 		return rec
 	}
 	if f, err := emu.OpenRecordingFile(path, p); err == nil {
+		r.recBytes.Add(f.SizeBytes())
 		return f
 	}
 	return rec
@@ -446,6 +537,153 @@ func (r *Runner) Close() error {
 	return firstErr
 }
 
+// checkpointSet returns the warmed-state checkpoint set for bench
+// under cfg's warm configuration class, building it at most once per
+// (bench, class) even under concurrent callers (the build costs one
+// functional pass). A nil result means checkpointing is unavailable
+// for these options; callers proceed without it — checkpoints are an
+// optimization, never a correctness dependency.
+func (r *Runner) checkpointSet(bench string, cfg config.Machine) *ckpt.Set {
+	key := ckptKey{bench, ckpt.WarmConfigOf(cfg)}
+	for {
+		r.mu.Lock()
+		if s, ok := r.ckpts[key]; ok {
+			r.mu.Unlock()
+			return s
+		}
+		if ch, ok := r.ckptBusy[key]; ok {
+			r.mu.Unlock()
+			<-ch //md:ctxok bounded CPU-only build; the builder always closes ch, no external wait
+			continue
+		}
+		ch := make(chan struct{})
+		r.ckptBusy[key] = ch
+		r.mu.Unlock()
+		s := r.buildCheckpointSet(bench, cfg)
+		r.mu.Lock()
+		r.ckpts[key] = s
+		delete(r.ckptBusy, key)
+		r.mu.Unlock()
+		close(ch)
+		return s
+	}
+}
+
+// buildCheckpointSet opens, validates, or re-captures one checkpoint
+// set. With RecordingDir set the set persists as
+// <bench>-<warmhash>.mdckpt next to the benchmark's recording, shared
+// by concurrent mdserve workers and resumed mdexp sweeps; a corrupt,
+// mismatched, or stale file is silently re-captured and rewritten.
+// Every failure path degrades to a smaller or nil set, never an error.
+func (r *Runner) buildCheckpointSet(bench string, cfg config.Machine) *ckpt.Set {
+	seqs := r.opt.checkpointSeqs()
+	if len(seqs) == 0 {
+		return nil // single-segment decomposition: nothing to resume
+	}
+	rec, err := r.recording(bench)
+	if err != nil {
+		return nil
+	}
+	p, err := r.program(bench)
+	if err != nil {
+		return nil
+	}
+	recFP := emu.ProgramFingerprint(p)
+	warm := ckpt.WarmConfigOf(cfg)
+
+	path := ""
+	if r.opt.RecordingDir != "" {
+		path = filepath.Join(r.opt.RecordingDir,
+			fmt.Sprintf("%s-%016x.mdckpt", bench, warm.Hash()))
+		s, err := ckpt.OpenFile(path, recFP, warm.Hash())
+		if err == nil && !staleSeqs(s.Seqs(), seqs) {
+			r.ckptHits.Add(1)
+			r.ckptBytes.Add(s.SizeBytes())
+			return s
+		}
+		if err != nil && !errors.Is(err, fs.ErrNotExist) {
+			// Torn, corrupt, or foreign file: drop it before re-capture so
+			// a failed rewrite cannot leave the damaged bytes in place.
+			os.Remove(path) //md:errok re-capture below rewrites or works in memory
+		}
+	}
+	r.ckptMisses.Add(1)
+	s, err := ckpt.Build(cfg, rec, recFP, seqs)
+	if err != nil {
+		return nil
+	}
+	if path != "" && len(s.Frames) > 0 {
+		if err := s.WriteFile(path); err == nil {
+			r.ckptBytes.Add(s.SizeBytes())
+		}
+	}
+	return s
+}
+
+// staleSeqs reports whether an on-disk checkpoint schedule no longer
+// matches the sweep's. A file whose frames are a non-empty prefix of
+// the desired positions is accepted — a trace shorter than the capture
+// horizon truncates the tail identically on rebuild — while a file
+// from a different window geometry is re-captured.
+func staleSeqs(got, want []int64) bool {
+	if len(got) == 0 || len(got) > len(want) {
+		return true
+	}
+	for i, s := range got {
+		if s != want[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// phasePlan returns bench's phase-representative segment selection,
+// computed at most once per benchmark (one streaming BBV pass plus
+// k-means). A nil plan means every segment is simulated unweighted.
+func (r *Runner) phasePlan(bench string) []ckpt.WeightedSegment {
+	for {
+		r.mu.Lock()
+		if plan, ok := r.plans[bench]; ok {
+			r.mu.Unlock()
+			return plan
+		}
+		if ch, ok := r.planBusy[bench]; ok {
+			r.mu.Unlock()
+			<-ch //md:ctxok bounded CPU-only BBV pass; the builder always closes ch, no external wait
+			continue
+		}
+		ch := make(chan struct{})
+		r.planBusy[bench] = ch
+		r.mu.Unlock()
+		plan := r.buildPhasePlan(bench)
+		r.mu.Lock()
+		r.plans[bench] = plan
+		delete(r.planBusy, bench)
+		r.mu.Unlock()
+		close(ch)
+		return plan
+	}
+}
+
+// buildPhasePlan computes per-segment basic-block vectors over the
+// sweep's sampling horizon and clusters them into the configured
+// number of phases. The segment size mirrors parsim's decomposition
+// exactly, so plan indices are parsim segment indices.
+func (r *Runner) buildPhasePlan(bench string) []ckpt.WeightedSegment {
+	rec, err := r.recording(bench)
+	if err != nil {
+		return nil
+	}
+	tw, fw := r.opt.timingWindow(), r.opt.functionalWindow()
+	periods := (r.opt.Insts + tw - 1) / tw
+	segInsts := int64(r.opt.segmentPeriods()) * (tw + fw)
+	vecs, err := ckpt.SegmentBBVs(rec, periods*(tw+fw), segInsts, ckpt.BBVDims)
+	if err != nil || len(vecs) < 2 {
+		return nil
+	}
+	return ckpt.Plan(vecs, r.opt.phases(), phaseSeed)
+}
+
 // simulate is the real simulation backend behind Run. With
 // Options.Sampled it runs the interval-parallel sampled engine, whose
 // segment workers borrow spare tokens from the runner's own parallelism
@@ -457,13 +695,18 @@ func (r *Runner) simulate(ctx context.Context, bench string, cfg config.Machine)
 		return nil, err
 	}
 	if r.opt.Sampled && !cfg.SplitWindow {
-		res, err := parsim.Run(ctx, cfg, rec, parsim.Options{
+		popt := parsim.Options{
 			TotalTiming:     r.opt.Insts,
 			TimingInsts:     r.opt.timingWindow(),
 			FunctionalInsts: r.opt.functionalWindow(),
 			SegmentPeriods:  r.opt.SegmentPeriods,
 			Sem:             r.sem,
-		})
+			Checkpoints:     r.checkpointSet(bench, cfg),
+		}
+		if r.opt.PhaseSampled {
+			popt.Select = r.phasePlan(bench)
+		}
+		res, err := parsim.Run(ctx, cfg, rec, popt)
 		if err != nil {
 			return nil, err
 		}
@@ -484,10 +727,12 @@ func (r *Runner) simulate(ctx context.Context, bench string, cfg config.Machine)
 
 // simulateSerialSampled is the graceful-degradation backend for sampled
 // cells: one serial sampled pass on a private pipeline, touching none
-// of the interval-parallel machinery that kept failing. Slower and
-// warmed slightly differently than the segmented run (the paper's
-// serial methodology), but it lets the sweep finish the cell instead of
-// abandoning it.
+// of the interval-parallel machinery that kept failing (checkpoints,
+// phase selection, and segment workers included — a PhaseSampled cell
+// degrades to the full, unweighted serial methodology, which is at
+// least as accurate). Slower and warmed slightly differently than the
+// segmented run (the paper's serial methodology), but it lets the sweep
+// finish the cell instead of abandoning it.
 func (r *Runner) simulateSerialSampled(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err

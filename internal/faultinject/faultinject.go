@@ -36,6 +36,14 @@ const (
 	// standing in for a close-time write failure (quota, I/O error at
 	// flush) that the probe exists to surface.
 	SiteProbeClose = "atomicio.probeclose"
+	// SiteCkptWrite fires before a checkpoint set is serialized to disk
+	// (an injected error must leave any previous file intact and the
+	// sweep running on in-memory checkpoints).
+	SiteCkptWrite = "ckpt.write"
+	// SiteCkptLoad fires as a checkpoint file is opened/parsed (an
+	// injected error must fall back to functional fast-forward and
+	// re-capture the file — never wrong statistics).
+	SiteCkptLoad = "ckpt.load"
 )
 
 // Kind selects what an armed plan injects when it fires.

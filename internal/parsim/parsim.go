@@ -35,6 +35,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mdspec/internal/ckpt"
 	"mdspec/internal/config"
 	"mdspec/internal/core"
 	"mdspec/internal/emu"
@@ -121,6 +122,22 @@ type Options struct {
 	// extra workers start only on tokens TryAcquire can take without
 	// blocking, so sweeps never oversubscribe their configured budget.
 	Sem Sem
+	// Checkpoints, when non-nil, lets each segment restore the nearest
+	// warm-state frame at or before its warm-up start and fast-forward
+	// only the residue, instead of functionally replaying the stream
+	// from position 0. Restored state is bit-identical to a live
+	// fast-forward, so the option changes wall-clock time only. A set
+	// whose WarmHash does not match cfg, or a frame that fails to
+	// restore, is silently ignored (full fast-forward) — checkpoints
+	// may never change results.
+	Checkpoints *ckpt.Set
+	// Select, when non-empty, simulates only the named segments of the
+	// fixed decomposition, scaling each result by its weight before the
+	// in-order merge (phase-aware sampling: one representative segment
+	// stands in for its cluster). Indices must be unique and in range,
+	// weights positive. An empty Select simulates every segment with
+	// weight 1.
+	Select []ckpt.WeightedSegment
 }
 
 func (o Options) segmentPeriods() int64 {
@@ -206,6 +223,42 @@ func Run(ctx context.Context, cfg config.Machine, rec emu.ReplaySource, opt Opti
 		return nil, fmt.Errorf("parsim: invalid sampling windows %d:%d", opt.TimingInsts, opt.FunctionalInsts)
 	}
 	segs := opt.segments()
+	// Weight of each segment in the merge: 1 everywhere by default, or
+	// the phase plan's cluster populations with unselected segments at 0
+	// (skipped entirely).
+	weights := make([]int64, len(segs))
+	if len(opt.Select) == 0 {
+		for i := range weights {
+			weights[i] = 1
+		}
+	} else {
+		for _, ws := range opt.Select {
+			if ws.Index < 0 || ws.Index >= len(segs) {
+				return nil, fmt.Errorf("parsim: selected segment %d out of range [0, %d)", ws.Index, len(segs))
+			}
+			if ws.Weight <= 0 {
+				return nil, fmt.Errorf("parsim: segment %d has non-positive weight %d", ws.Index, ws.Weight)
+			}
+			if weights[ws.Index] != 0 {
+				return nil, fmt.Errorf("parsim: segment %d selected twice", ws.Index)
+			}
+			weights[ws.Index] = ws.Weight
+		}
+	}
+	work := make([]int, 0, len(segs))
+	for i := range segs {
+		if weights[i] > 0 {
+			work = append(work, i)
+		}
+	}
+	// A checkpoint set captured under a different warm configuration
+	// would restore the wrong cache/predictor geometry; drop it rather
+	// than let it near the results. (Recording identity was verified
+	// when the set was opened/built by the caller.)
+	if opt.Checkpoints != nil && opt.Checkpoints.WarmHash != ckpt.WarmConfigOf(cfg).Hash() {
+		opt.Checkpoints = nil
+	}
+
 	results := make([]*stats.Run, len(segs))
 	errs := make([]error, len(segs))
 
@@ -213,7 +266,7 @@ func Run(ctx context.Context, cfg config.Machine, rec emu.ReplaySource, opt Opti
 	worker := func() {
 		for {
 			n := int(next.Add(1) - 1)
-			if n >= len(segs) {
+			if n >= len(work) {
 				return
 			}
 			// Claim segments in descending stream order: a segment's
@@ -221,12 +274,15 @@ func Run(ctx context.Context, cfg config.Machine, rec emu.ReplaySource, opt Opti
 			// so the expensive late segments go first and the cheap early
 			// ones fill the schedule's tail. The claim order changes only
 			// wall-clock time — results are merged by segment index.
-			i := len(segs) - 1 - n
+			i := work[len(work)-1-n]
 			if err := ctx.Err(); err != nil {
 				errs[i] = err
 				continue
 			}
 			results[i], errs[i] = runSegment(ctx, cfg, rec, i, segs[i], opt)
+			if w := weights[i]; w > 1 {
+				results[i] = stats.Scale(results[i], w)
+			}
 		}
 	}
 
@@ -291,6 +347,22 @@ func runSegment(ctx context.Context, cfg config.Machine, rec emu.ReplaySource, i
 	pl, err := core.New(cfg, rec.NewReplay())
 	if err != nil {
 		return nil, err
+	}
+	if cs := opt.Checkpoints; cs != nil {
+		target := s.start - opt.warmup()
+		if target < 0 {
+			target = 0
+		}
+		if f := cs.Nearest(target); f != nil {
+			if restoreErr := pl.RestoreWarm(f.State); restoreErr != nil {
+				// A failed restore may have left partial state behind;
+				// rebuild the machine and fall back to the full
+				// functional fast-forward. Slower, never wrong.
+				if pl, err = core.New(cfg, rec.NewReplay()); err != nil {
+					return nil, err
+				}
+			}
+		}
 	}
 	return pl.RunSampledInterval(s.start, s.end, opt.TimingInsts, opt.FunctionalInsts, opt.warmup())
 }

@@ -96,8 +96,10 @@ type QueueMetrics struct {
 }
 
 // MetricsResponse is GET /v1/metrics: the runner's lifetime counters
-// (simulations, cache/dedup hits, journal replays), per-endpoint
-// request/latency counters, queue occupancy, and journal health.
+// (simulations, cache/dedup hits, journal replays, and the on-disk
+// recording and warm-state checkpoint caches' hit/miss/byte counters),
+// per-endpoint request/latency counters, queue occupancy, and journal
+// health.
 type MetricsResponse struct {
 	Counters      experiments.Counters       `json:"counters"`
 	Endpoints     map[string]EndpointMetrics `json:"endpoints"`

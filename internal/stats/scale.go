@@ -1,0 +1,36 @@
+package stats
+
+// Scale returns a copy of r with every raw counter multiplied by w —
+// the statistics the machine would have accumulated had it simulated w
+// back-to-back copies of the region r covers. Phase-aware sampling uses
+// it to let one representative segment stand in for the w segments of
+// its cluster before merging: derived metrics of the merged Run stay
+// ratios of (now phase-weighted) sums, exactly as Merge documents.
+// Identity fields pass through; w must be positive.
+func Scale(r *Run, w int64) *Run {
+	if r == nil {
+		return nil
+	}
+	s := *r
+	s.Cycles *= w
+	s.Committed *= w
+	s.CommittedLoads *= w
+	s.CommittedStores *= w
+	s.Misspeculations *= w
+	s.SquashedInsts *= w
+	s.FalseDepLoads *= w
+	s.FalseDepDelay *= w
+	s.Branches *= w
+	s.BranchMispredicts *= w
+	s.DCacheAccesses *= uint64(w)
+	s.DCacheMisses *= uint64(w)
+	s.ICacheAccesses *= uint64(w)
+	s.ICacheMisses *= uint64(w)
+	s.Forwards *= w
+	s.SyncWaits *= w
+	s.Skipped *= w
+	s.StallEmpty *= w
+	s.StallMem *= w
+	s.StallExec *= w
+	return &s
+}

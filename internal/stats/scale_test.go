@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestScaleCoversEveryCounter scales by 3 and checks, via reflection
+// over the struct, that every numeric field either tripled or is an
+// identity field — so a newly added counter cannot silently escape
+// phase weighting.
+func TestScaleCoversEveryCounter(t *testing.T) {
+	src := &Run{Config: "cfg", Workload: "wl"}
+	v := reflect.ValueOf(src).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		switch f := v.Field(i); f.Kind() {
+		case reflect.Int64:
+			f.SetInt(int64(i + 1))
+		case reflect.Uint64:
+			f.SetUint(uint64(i + 1))
+		}
+	}
+	got := Scale(src, 3)
+	if got.Config != "cfg" || got.Workload != "wl" {
+		t.Fatal("identity fields must pass through")
+	}
+	gv := reflect.ValueOf(got).Elem()
+	typ := v.Type()
+	for i := 0; i < v.NumField(); i++ {
+		switch f := v.Field(i); f.Kind() {
+		case reflect.Int64:
+			if gv.Field(i).Int() != 3*f.Int() {
+				t.Errorf("field %s not scaled", typ.Field(i).Name)
+			}
+		case reflect.Uint64:
+			if gv.Field(i).Uint() != 3*f.Uint() {
+				t.Errorf("field %s not scaled", typ.Field(i).Name)
+			}
+		}
+	}
+
+	// Scale(x, 1) must be the identity; nil passes through.
+	if one := Scale(src, 1); !reflect.DeepEqual(one, src) {
+		t.Fatal("Scale by 1 must be the identity")
+	}
+	if Scale(nil, 2) != nil {
+		t.Fatal("Scale(nil) must be nil")
+	}
+}
