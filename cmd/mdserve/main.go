@@ -3,8 +3,9 @@
 // Usage:
 //
 //	mdserve [-addr host:port] [-n insts] [-sampled T:F] [-par N]
-//	        [-workers N] [-queue N] [-journal dir] [-retries N]
-//	        [-drain d] [-quiet]
+//	        [-workers N] [-sched N] [-queue N] [-journal dir]
+//	        [-recdir dir] [-retries N] [-cell-budget d]
+//	        [-drain d] [-drain-timeout d] [-quiet]
 //
 // The daemon accepts (benchmark, configuration) cell requests as JSON
 // (POST /v1/runs) and whole sweeps as a cross product (POST
@@ -15,21 +16,36 @@
 // clients cost one simulation; a bounded work queue refuses overload
 // with 503 instead of queueing without limit.
 //
-// With -journal, every finished cell is checkpointed to
-// <dir>/runs.journal and a restarted daemon re-primes its cache from
-// it, so previously-computed cells are served without re-simulating
-// across restarts. GET /v1/metrics exposes the runner's lifetime
-// counters, per-endpoint request/latency accounting, and queue
-// occupancy; GET /v1/options the provenance tuple (clients check it
-// before sweeping — see mdexp -server).
+// With -workers N the daemon becomes a fleet supervisor: it forks N
+// copies of itself in -worker mode (each a full server on a private
+// unix socket, sharing -journal and -recdir), dispatches cells to them
+// with work stealing, restarts crashed or wedged workers under capped
+// backoff, and degrades to in-process execution if the whole fleet is
+// down (reported as degraded in /v1/healthz; per-worker liveness,
+// steal, and restart counters in /v1/metrics). Each worker owns a
+// lease-protected journal segment runs.<id>.journal; the supervisor
+// merges every segment on restart.
+//
+// With -journal (single-process mode), every finished cell is
+// checkpointed to <dir>/runs.journal and a restarted daemon re-primes
+// its cache from it, so previously-computed cells are served without
+// re-simulating across restarts. GET /v1/metrics exposes the runner's
+// lifetime counters, per-endpoint request/latency accounting, and
+// queue occupancy; GET /v1/options the provenance tuple (clients
+// check it before sweeping — see mdexp -server).
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: the listener closes,
 // in-flight requests drain (bounded by -drain), queued cells finish
 // and reach the journal, and only then does the process exit.
+// -drain-timeout additionally bounds the queued-cell drain: a wedged
+// in-flight cell cannot stall shutdown forever — on expiry the daemon
+// reports a snapshot of the stuck cells and exits 1, with everything
+// that did finish already journaled.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -41,6 +57,7 @@ import (
 	"time"
 
 	"mdspec/internal/experiments"
+	"mdspec/internal/fleet"
 	"mdspec/internal/retry"
 	"mdspec/internal/server"
 )
@@ -50,21 +67,34 @@ func main() {
 	insts := flag.Int64("n", 150_000, "committed instructions per (benchmark, config) run")
 	sampled := flag.String("sampled", "", "sampled simulation with windows T:F instructions; -n becomes the total timing budget")
 	par := flag.Int("par", 0, "max concurrent simulations (default: GOMAXPROCS)")
-	workers := flag.Int("workers", 0, "scheduler worker pool size (default: -par)")
+	procs := flag.Int("workers", 0, "worker processes to fork and supervise (0 = single-process)")
+	sched := flag.Int("sched", 0, "scheduler worker pool size (default: -par)")
 	queue := flag.Int("queue", server.DefaultQueueDepth, "bounded work-queue depth; beyond it requests get 503")
 	journalDir := flag.String("journal", "", "checkpoint directory: journal finished cells and re-prime the cache from it on restart")
 	recDir := flag.String("recdir", "", "recording and warm-state cache directory: mmap per-benchmark columnar recordings and share warmed checkpoint sets across server processes")
 	phases := flag.Int("phases", 0, "with -sampled, simulate only this many phase-representative segments per benchmark (BBV k-means), weighted by cluster size; 0 = all segments")
 	retries := flag.Int("retries", 0, "attempts per cell before a transient failure abandons it (default 3)")
+	cellBudget := flag.Duration("cell-budget", 0, "with -workers, per-cell wall-clock budget on a worker; a worker exceeding it is presumed wedged and recycled (0 = unlimited)")
 	drain := flag.Duration("drain", time.Minute, "maximum time to wait for in-flight requests on shutdown")
+	drainTimeout := flag.Duration("drain-timeout", 0, "maximum time to wait for queued cells on shutdown; on expiry, report stuck cells and exit 1 (0 = wait forever)")
 	quiet := flag.Bool("quiet", false, "suppress per-request lifecycle logging")
+	workerMode := flag.Bool("worker", false, "run as a supervised fleet worker (internal; forked by -workers)")
+	socket := flag.String("socket", "", "with -worker, the unix control socket to listen on")
+	workerID := flag.String("worker-id", "", "with -worker, the journal segment id (lease owner)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "mdserve: unexpected arguments: %v\n", flag.Args())
 		os.Exit(2)
 	}
+	if *workerMode && (*socket == "" || *workerID == "") {
+		fatal(fmt.Errorf("-worker requires -socket and -worker-id"))
+	}
 
-	logger := log.New(os.Stderr, "mdserve: ", log.LstdFlags)
+	prefix := "mdserve: "
+	if *workerMode {
+		prefix = fmt.Sprintf("mdserve[%s]: ", *workerID)
+	}
+	logger := log.New(os.Stderr, prefix, log.LstdFlags)
 
 	opt := experiments.Options{Insts: *insts, Parallel: *par, Retry: retry.Policy{MaxAttempts: *retries}, RecordingDir: *recDir}
 	if *sampled != "" {
@@ -87,19 +117,30 @@ func main() {
 	// with the final options: its meta header is the provenance
 	// fingerprint, so a dir journaled under different options is
 	// detected and refused rather than silently serving foreign cells.
+	//
+	// Journal layout depends on the role: a single-process daemon owns
+	// the legacy runs.journal; fleet processes (workers and the
+	// supervisor alike) each own one lease-protected runs.<id>.journal
+	// segment and re-prime from the merge of every segment in the dir.
 	var journal *experiments.Journal
 	var replayed []experiments.RunRecord
 	if *journalDir != "" {
-		j, recs, err := experiments.OpenJournal(*journalDir, opt)
+		var err error
+		switch {
+		case *workerMode:
+			journal, replayed, err = experiments.OpenJournalSegment(*journalDir, *workerID, opt, experiments.DefaultLeaseTTL)
+		case *procs > 0:
+			journal, replayed, err = experiments.OpenJournalSegment(*journalDir, "sup", opt, experiments.DefaultLeaseTTL)
+		default:
+			journal, replayed, err = experiments.OpenJournal(*journalDir, opt)
+		}
 		if err != nil {
 			fatal(err)
 		}
-		journal = j
-		opt.Journal = j
-		replayed = recs
+		opt.Journal = journal
 	}
 
-	cfg := server.Config{Options: opt, Workers: *workers, QueueDepth: *queue}
+	cfg := server.Config{Options: opt, Workers: *sched, QueueDepth: *queue}
 	if !*quiet {
 		cfg.Log = logger
 	}
@@ -108,16 +149,62 @@ func main() {
 		logger.Printf("re-primed %d finished cell(s) from %s", n, *journalDir)
 	}
 
-	ln, err := net.Listen("tcp", *addr)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Fleet mode: fork the workers, mount the pool as the runner's
+	// backend (cache, singleflight, and journaling stay in front of
+	// it), and expose the pool's health through the API.
+	var pool *fleet.Pool
+	if *procs > 0 && !*workerMode {
+		exe, err := os.Executable()
+		if err != nil {
+			fatal(err)
+		}
+		sockDir, err := os.MkdirTemp("", "mdserve-fleet-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(sockDir)
+		pool, err = fleet.Start(ctx, fleet.Config{
+			Procs:      *procs,
+			Exec:       exe,
+			Args:       workerArgs(flag.CommandLine, *drain),
+			Dir:        sockDir,
+			JournalDir: *journalDir,
+			Meta:       fingerprintPtr(opt),
+			CellBudget: *cellBudget,
+			Fallback:   srv.Runner().LocalSimulate,
+			Log:        logger,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		srv.Runner().UseBackend(pool.Simulate)
+		srv.AttachFleet(pool)
+		logger.Printf("supervising %d worker process(es) in %s", *procs, sockDir)
+	}
+
+	// A worker heartbeats its journal lease so the supervisor (and any
+	// segment reader) can tell a live owner from a dead one's remains.
+	if journal != nil && (*workerMode || *procs > 0) {
+		go heartbeatLease(ctx, journal, logger)
+	}
+
+	var ln net.Listener
+	var err error
+	if *workerMode {
+		ln, err = net.Listen("unix", *socket)
+	} else {
+		ln, err = net.Listen("tcp", *addr)
+	}
 	if err != nil {
 		fatal(err)
 	}
-	logger.Printf("serving %s on http://%s (workers=%d queue=%d)",
+	logger.Printf("serving %s on %s (sched=%d queue=%d)",
 		opt.Fingerprint().Runner, ln.Addr(), srv.Workers(), *queue)
 
 	httpSrv := &http.Server{Handler: srv, ErrorLog: logger}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	shutdownErr := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
@@ -133,19 +220,78 @@ func main() {
 	// Shutdown ordering matters: first the HTTP server stops accepting
 	// and drains handlers (the queue's only submitters), then the
 	// scheduler finishes queued cells — journaling each — and only then
-	// does the journal close with a complete tail.
+	// does the journal close with a complete tail. -drain-timeout
+	// bounds the scheduler stage: a wedged cell cannot hold the
+	// process hostage, and everything that finished is already on disk.
 	if err := <-shutdownErr; err != nil {
 		logger.Printf("drain limit exceeded, abandoning open connections: %v", err)
 	}
-	srv.Close()
+	stuck := srv.CloseTimeout(*drainTimeout)
+	if pool != nil {
+		if err := pool.Close(); err != nil {
+			logger.Printf("closing fleet: %v", err)
+		}
+	}
 	if journal != nil {
 		if err := journal.Close(); err != nil {
 			logger.Printf("closing journal: %v", err)
 		}
 	}
 	c := srv.Runner().Counters()
+	if len(stuck) > 0 {
+		snapshot, _ := json.Marshal(stuck)
+		logger.Printf("drain timeout %s expired with %d cell(s) stuck (finished work is journaled): %s",
+			*drainTimeout, len(stuck), snapshot)
+		os.Exit(1)
+	}
 	logger.Printf("shut down cleanly: %d simulated, %d cache/dedup hits, %d replayed",
 		c.JobsFinished, c.CacheHits, c.Replayed)
+}
+
+// workerArgs rebuilds this daemon's relevant flags as a worker argv:
+// children inherit the provenance-defining options verbatim (same
+// fingerprint, same journal dir) plus their identity flags. The
+// supervisor-only flags (-workers, -addr, -drain-timeout) are not
+// forwarded; -sched is left to default so each worker sizes its own
+// pool from -par.
+func workerArgs(fs *flag.FlagSet, drain time.Duration) func(slot int, socket string) []string {
+	inherit := []string{"n", "sampled", "par", "queue", "journal", "recdir", "phases", "retries", "quiet"}
+	var base []string
+	for _, name := range inherit {
+		f := fs.Lookup(name)
+		if f == nil || f.Value.String() == f.DefValue {
+			continue
+		}
+		base = append(base, "-"+name+"="+f.Value.String())
+	}
+	// Workers drain fast on SIGTERM: the supervisor escalates to
+	// SIGKILL anyway, and their journals make any loss recoverable.
+	base = append(base, "-drain="+drain.String())
+	return func(slot int, socket string) []string {
+		return append([]string{"-worker", "-socket", socket, "-worker-id", fleet.WorkerID(slot)}, base...)
+	}
+}
+
+// heartbeatLease stamps the journal lease on a fraction of the TTL so
+// a live owner is never mistaken for a dead one.
+func heartbeatLease(ctx context.Context, j *experiments.Journal, logger *log.Logger) {
+	t := time.NewTicker(experiments.DefaultLeaseTTL / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := j.Heartbeat(); err != nil {
+				logger.Printf("lease heartbeat: %v", err)
+			}
+		}
+	}
+}
+
+func fingerprintPtr(opt experiments.Options) *experiments.Fingerprint {
+	fp := opt.Fingerprint()
+	return &fp
 }
 
 func fatal(err error) {

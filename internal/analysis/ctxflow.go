@@ -14,6 +14,7 @@ import (
 var RequestScopedPackages = []string{
 	"internal/server",
 	"internal/experiments",
+	"internal/fleet",
 }
 
 // CtxFlow enforces context discipline in request-scoped packages

@@ -6,9 +6,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"mdspec/internal/atomicio"
 	"mdspec/internal/faultinject"
@@ -45,6 +49,22 @@ const journalName = "runs.journal"
 
 // journalMagic identifies (and versions) the file format.
 const journalMagic = "mdspec-journal/1\n"
+
+// Segment naming: a multi-process journal directory holds one
+// `runs.<id>.journal` per writer, each owned through a sibling
+// `runs.<id>.lease` file, alongside (optionally) the legacy
+// single-writer runs.journal, which is merged read-only.
+const (
+	segmentPrefix = "runs."
+	segmentSuffix = ".journal"
+	leaseSuffix   = ".lease"
+)
+
+// DefaultLeaseTTL is how long a segment lease stays valid without a
+// heartbeat refresh. A writer that has not heartbeated for a full TTL
+// is presumed dead and its lease may be reclaimed; live writers should
+// heartbeat several times per TTL (see Journal.Heartbeat).
+const DefaultLeaseTTL = 10 * time.Second
 
 // Fingerprint identifies the provenance tuple a result cache or
 // checkpoint journal is keyed under, beyond the per-cell (benchmark,
@@ -89,11 +109,37 @@ type journalEntry struct {
 
 // Journal is an append-only, checksummed WAL of completed runs.
 // Appends are serialized and fsynced; it is safe for concurrent use by
-// a Runner's sweep workers.
+// a Runner's sweep workers. A Journal opened as a segment
+// (OpenJournalSegment) additionally holds its segment's lease, which
+// Heartbeat refreshes and Close releases.
 type Journal struct {
-	mu   sync.Mutex
-	f    *os.File //md:guardedby mu
-	path string   // immutable after OpenJournal
+	mu    sync.Mutex
+	f     *os.File   //md:guardedby mu
+	lease *leaseInfo //md:guardedby mu — nil for the legacy single-writer journal
+	path  string     // immutable after OpenJournal
+	// leasePath is the lease file's location; immutable, "" when unleased.
+	leasePath string
+}
+
+// leaseInfo is the JSON body of a runs.<id>.lease file: who owns the
+// segment and when they last proved they were alive.
+type leaseInfo struct {
+	Owner         string `json:"owner"`
+	PID           int    `json:"pid"`
+	AcquiredUnix  int64  `json:"acquired_unix"`
+	HeartbeatUnix int64  `json:"heartbeat_unix"`
+}
+
+// ErrLeaseHeld reports that a journal segment is owned by another
+// writer whose lease is still fresh (heartbeat within the TTL).
+type ErrLeaseHeld struct {
+	Path string        // the lease file
+	PID  int           // the owner's pid, as recorded in the lease
+	Age  time.Duration // time since the owner's last heartbeat
+}
+
+func (e *ErrLeaseHeld) Error() string {
+	return fmt.Sprintf("journal: segment lease %s held by pid %d (heartbeat %.1fs ago)", e.Path, e.PID, e.Age.Seconds())
 }
 
 // OpenJournal opens (or creates) the journal in dir for a sweep running
@@ -107,9 +153,232 @@ func OpenJournal(dir string, opt Options) (*Journal, []RunRecord, error) {
 	if err := atomicio.ProbeDir(dir); err != nil {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
-	path := filepath.Join(dir, journalName)
-	want := opt.Fingerprint()
+	return openJournalFile(filepath.Join(dir, journalName), opt.Fingerprint())
+}
 
+// SegmentPath returns the journal segment file a writer with the given
+// id appends to inside dir.
+func SegmentPath(dir, id string) string {
+	return filepath.Join(dir, segmentPrefix+id+segmentSuffix)
+}
+
+func leasePath(dir, id string) string {
+	return filepath.Join(dir, segmentPrefix+id+leaseSuffix)
+}
+
+// validSegmentID restricts segment ids to filename-safe tokens so a
+// crafted id cannot escape the journal directory or collide with the
+// legacy runs.journal.
+func validSegmentID(id string) error {
+	if id == "" {
+		return fmt.Errorf("journal: empty segment id")
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return fmt.Errorf("journal: segment id %q: only [A-Za-z0-9_-] allowed", id)
+		}
+	}
+	return nil
+}
+
+// OpenJournalSegment opens this writer's own journal segment
+// (runs.<id>.journal) in dir under an exclusive lease, truncating the
+// segment's torn tail exactly as OpenJournal does for the legacy file,
+// and returns the run records merged from *every* segment in dir —
+// the legacy runs.journal, other writers' live segments, and this one.
+// A fresh lease carries a heartbeat timestamp the owner must refresh
+// (Heartbeat) several times per ttl; a lease whose heartbeat is older
+// than a full ttl is presumed abandoned by a dead writer and is
+// reclaimed. ttl <= 0 selects DefaultLeaseTTL.
+//
+// Torn tails of *other* writers' segments are skipped, never
+// truncated: a tear there is either a live append in progress or a
+// crash their next OpenJournalSegment will repair under its own lease.
+func OpenJournalSegment(dir, id string, opt Options, ttl time.Duration) (*Journal, []RunRecord, error) {
+	if err := atomicio.ProbeDir(dir); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := validSegmentID(id); err != nil {
+		return nil, nil, err
+	}
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	lease, err := acquireLease(dir, id, ttl)
+	if err != nil {
+		return nil, nil, err
+	}
+	j, _, err := openJournalFile(SegmentPath(dir, id), opt.Fingerprint())
+	if err != nil {
+		os.Remove(leasePath(dir, id)) //md:errok releasing a just-acquired lease on a failing open; the open error is the one reported
+		return nil, nil, err
+	}
+	//md:nolock single-owner: OpenJournalSegment sets the lease before the Journal is published to any other goroutine
+	j.lease = lease
+	j.leasePath = leasePath(dir, id)
+	recs, err := ReplayJournalDir(dir, opt)
+	if err != nil {
+		jerr := j.Close()
+		_ = jerr //md:errok cleanup on an already-failing open; the replay error is the one reported
+		return nil, nil, err
+	}
+	return j, recs, nil
+}
+
+// ReplayJournalDir replays every journal segment in dir read-only —
+// the legacy runs.journal plus all runs.<id>.journal segments, in
+// lexical filename order — and returns the merged, deduplicated run
+// records (last entry per (bench, config hash) wins, as within a
+// single file; cells are deterministic, so any copy is the cell). Torn
+// tails end each file's scan without failing the merge. A segment
+// written under a different provenance fingerprint is an error, just
+// as for a single-file journal.
+func ReplayJournalDir(dir string, opt Options) ([]RunRecord, error) {
+	want := opt.Fingerprint()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.Type().IsRegular() && (name == journalName ||
+			(strings.HasPrefix(name, segmentPrefix) && strings.HasSuffix(name, segmentSuffix))) {
+			files = append(files, name)
+		}
+	}
+	sort.Strings(files)
+	var order []runKeyID
+	byKey := make(map[runKeyID]RunRecord)
+	for _, name := range files {
+		recs, _, err := replayJournal(filepath.Join(dir, name), want)
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range recs {
+			k := runKeyID{rec.Bench, rec.ConfigHash}
+			if _, seen := byKey[k]; !seen {
+				order = append(order, k)
+			}
+			byKey[k] = rec
+		}
+	}
+	merged := make([]RunRecord, 0, len(order))
+	for _, k := range order {
+		merged = append(merged, byKey[k])
+	}
+	return merged, nil
+}
+
+// acquireLease claims segment id's lease in dir via O_EXCL creation.
+// A held lease whose heartbeat is older than ttl is reclaimed with a
+// rename-to-claim step so two racing reclaimers cannot both win: the
+// rename succeeds for exactly one of them, the other loops and finds
+// the winner's fresh lease.
+func acquireLease(dir, id string, ttl time.Duration) (*leaseInfo, error) {
+	if err := faultinject.PointErr(faultinject.SiteLeaseAcquire); err != nil {
+		return nil, fmt.Errorf("journal: acquiring lease for segment %s: %w", id, err)
+	}
+	path := leasePath(dir, id)
+	for tries := 0; tries < 4; tries++ {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o666)
+		if err == nil {
+			now := time.Now().Unix()
+			info := &leaseInfo{Owner: id, PID: os.Getpid(), AcquiredUnix: now, HeartbeatUnix: now}
+			data, merr := json.Marshal(info)
+			if merr == nil {
+				_, merr = f.Write(data)
+			}
+			if serr := f.Sync(); merr == nil {
+				merr = serr
+			}
+			if cerr := f.Close(); merr == nil {
+				merr = cerr
+			}
+			if merr != nil {
+				os.Remove(path) //md:errok releasing a half-written lease; the write error is the one reported
+				return nil, fmt.Errorf("journal: writing lease %s: %w", path, merr)
+			}
+			return info, nil
+		}
+		if !os.IsExist(err) {
+			return nil, fmt.Errorf("journal: lease %s: %w", path, err)
+		}
+		// Lease exists: fresh means held, stale (or unparsable — a torn
+		// lease write is itself evidence of a dead writer) means reclaim.
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			if os.IsNotExist(rerr) {
+				continue // released between our create and read; retry
+			}
+			return nil, fmt.Errorf("journal: lease %s: %w", path, rerr)
+		}
+		var held leaseInfo
+		var hb time.Time
+		if json.Unmarshal(data, &held) == nil && held.HeartbeatUnix > 0 {
+			hb = time.Unix(held.HeartbeatUnix, 0)
+		}
+		if age := time.Since(hb); age <= ttl {
+			return nil, &ErrLeaseHeld{Path: path, PID: held.PID, Age: age}
+		}
+		claim := fmt.Sprintf("%s.reclaim.%d", path, os.Getpid())
+		if rerr := os.Rename(path, claim); rerr != nil {
+			if os.IsNotExist(rerr) {
+				continue // another reclaimer won the rename; retry sees their lease
+			}
+			return nil, fmt.Errorf("journal: reclaiming stale lease %s: %w", path, rerr)
+		}
+		if rerr := os.Remove(claim); rerr != nil && !os.IsNotExist(rerr) {
+			return nil, fmt.Errorf("journal: removing reclaimed lease %s: %w", claim, rerr)
+		}
+	}
+	return nil, fmt.Errorf("journal: lease %s: could not acquire after repeated reclaim races", path)
+}
+
+// BreakLease force-releases segment id's lease in dir. Only a caller
+// that has independently confirmed the owner is dead may use it — the
+// fleet supervisor calls it after waitpid on a crashed worker, so the
+// restarted incarnation reacquires its segment immediately instead of
+// waiting out the heartbeat TTL.
+func BreakLease(dir, id string) error {
+	if err := validSegmentID(id); err != nil {
+		return err
+	}
+	if err := os.Remove(leasePath(dir, id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("journal: breaking lease for segment %s: %w", id, err)
+	}
+	return nil
+}
+
+// Heartbeat refreshes the segment lease's liveness timestamp. Owners
+// of a leased segment must call it several times per lease TTL (the
+// fleet worker runs it on a ticker); on the legacy unleased journal it
+// is a no-op.
+func (j *Journal) Heartbeat() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.lease == nil {
+		return nil
+	}
+	j.lease.HeartbeatUnix = time.Now().Unix()
+	data, err := json.Marshal(j.lease)
+	if err != nil {
+		return fmt.Errorf("journal: lease heartbeat: %w", err)
+	}
+	if err := atomicio.WriteFile(j.leasePath, func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	}); err != nil {
+		return fmt.Errorf("journal: lease heartbeat: %w", err)
+	}
+	return nil
+}
+
+// openJournalFile opens (or creates) one journal file for appending:
+// replay, torn-tail truncation, and fresh-file initialization.
+func openJournalFile(path string, want Fingerprint) (*Journal, []RunRecord, error) {
 	recs, validLen, err := replayJournal(path, want)
 	if err != nil {
 		return nil, nil, err
@@ -185,11 +454,20 @@ func (j *Journal) append(e journalEntry) error {
 	return nil
 }
 
-// Close closes the journal file.
+// Close closes the journal file and, for a leased segment, releases
+// the lease so a successor can take the segment over without waiting
+// out the TTL.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.f.Close()
+	err := j.f.Close()
+	if j.lease != nil {
+		j.lease = nil
+		if rerr := os.Remove(j.leasePath); rerr != nil && !os.IsNotExist(rerr) && err == nil {
+			err = fmt.Errorf("journal: releasing lease %s: %w", j.leasePath, rerr)
+		}
+	}
+	return err
 }
 
 // maxJournalEntry bounds one entry's payload; a length prefix beyond it

@@ -2,8 +2,11 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"os"
 	"testing"
+	"time"
 
 	"mdspec/internal/config"
 	"mdspec/internal/stats"
@@ -105,6 +108,144 @@ func TestResumeBitIdentical(t *testing.T) {
 	}
 	if len(recs) != 4 {
 		t.Errorf("journal holds %d cells after resume, want 4", len(recs))
+	}
+}
+
+// TestConcurrentSegmentsCrashRecovery is the multi-writer analogue of
+// TestResumeBitIdentical: two writers journal disjoint halves of a
+// sweep into their own leased segments concurrently; one is "SIGKILLed"
+// mid-append (its segment gets a torn tail, its lease is left behind
+// with a dead heartbeat). Recovery must reclaim the stale lease,
+// truncate exactly the torn tail of the dead writer's own segment —
+// not a byte of anyone else's — and replay every other cell from both
+// segments bit-identically, re-simulating only the torn one.
+func TestConcurrentSegmentsCrashRecovery(t *testing.T) {
+	opt := Options{Insts: 6_000, Sampled: true, TimingWindow: 1_000, FunctionalWindow: 2_000}
+	jobs := sweepJobs()
+
+	// Reference: one uninterrupted single-writer sweep.
+	ref := runSweep(t, NewRunner(opt), jobs)
+
+	dir := t.TempDir()
+	j0, _, err := OpenJournalSegment(dir, "w0", opt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _, err := OpenJournalSegment(dir, "w1", opt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Writer w0 journals its half from a second goroutine while w1 works
+	// below — the two segments fill concurrently, as fleet workers do.
+	opt0 := opt
+	opt0.Journal = j0
+	r0 := NewRunner(opt0)
+	w0done := make(chan error, 1)
+	go func() {
+		for _, jb := range jobs[:2] {
+			if _, err := r0.Run(bg, jb.bench, jb.cfg); err != nil {
+				w0done <- err
+				return
+			}
+		}
+		w0done <- nil
+	}()
+
+	// Writer w1 journals its half one cell at a time so the test can
+	// record its segment's frame boundaries.
+	opt1 := opt
+	opt1.Journal = j1
+	r1 := NewRunner(opt1)
+	seg1 := SegmentPath(dir, "w1")
+	var sizes []int64
+	for _, jb := range jobs[2:] {
+		if _, err := r1.Run(bg, jb.bench, jb.cfg); err != nil {
+			t.Fatalf("%s under %s: %v", jb.bench, jb.cfg.Name(), err)
+		}
+		fi, err := os.Stat(seg1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, fi.Size())
+	}
+	if err := <-w0done; err != nil {
+		t.Fatalf("concurrent writer w0: %v", err)
+	}
+	j0.Close()
+
+	// "SIGKILL" w1 mid-append: drop the file handle without releasing
+	// the lease, tear its last frame, and age the lease past any TTL.
+	j1.f.Close()
+	if err := os.Truncate(seg1, sizes[1]-11); err != nil {
+		t.Fatal(err)
+	}
+	stale := time.Now().Add(-time.Hour).Unix()
+	data, err := json.Marshal(leaseInfo{Owner: "w1", PID: os.Getpid(), AcquiredUnix: stale, HeartbeatUnix: stale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(leasePath(dir, "w1"), data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	w0size, err := os.Stat(SegmentPath(dir, "w0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery: w1's successor reclaims the stale lease and repairs its
+	// own segment — truncated to exactly the last intact frame.
+	j1b, recs, err := OpenJournalSegment(dir, "w1", opt, 0)
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	if fi, serr := os.Stat(seg1); serr != nil {
+		t.Fatal(serr)
+	} else if fi.Size() != sizes[0] {
+		t.Errorf("torn tail truncated to %d bytes, want exactly the intact prefix %d", fi.Size(), sizes[0])
+	}
+	if fi, serr := os.Stat(SegmentPath(dir, "w0")); serr != nil {
+		t.Fatal(serr)
+	} else if fi.Size() != w0size.Size() {
+		t.Errorf("recovery modified w0's segment: %d bytes, was %d", fi.Size(), w0size.Size())
+	}
+	if len(recs) != 3 {
+		t.Fatalf("merged replay has %d cells, want 3 (both of w0's, w1's intact first)", len(recs))
+	}
+
+	// Resume the full sweep: only the torn cell re-simulates, and every
+	// cell's statistics match the uninterrupted reference bit for bit.
+	optR := opt
+	optR.Journal = j1b
+	r2 := NewRunner(optR)
+	if n := r2.Prime(recs); n != 3 {
+		t.Fatalf("Prime accepted %d records, want 3", n)
+	}
+	resumed := runSweep(t, r2, jobs)
+	if got := r2.Counters().Replayed; got != 3 {
+		t.Errorf("Replayed = %d, want 3 cells served from the merged segments", got)
+	}
+	if got := r2.Counters().JobsStarted; got != 1 {
+		t.Errorf("JobsStarted = %d, want only the torn cell re-simulated", got)
+	}
+	for k, want := range ref {
+		got, ok := resumed[k]
+		if !ok {
+			t.Fatalf("resumed sweep missing cell %v", k)
+		}
+		if *got != *want {
+			t.Errorf("cell %v differs after multi-segment recovery:\nref:     %+v\nresumed: %+v", k, *want, *got)
+		}
+	}
+	j1b.Close()
+
+	// After recovery the directory holds all four cells again.
+	recs, err = ReplayJournalDir(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Errorf("directory replays %d cells after recovery, want 4", len(recs))
 	}
 }
 

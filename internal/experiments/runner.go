@@ -1031,6 +1031,16 @@ func (r *Runner) UseBackend(sim SimulateFunc) {
 	r.simSerial = sim
 }
 
+// LocalSimulate runs one cell on this process's own simulation engine,
+// ignoring any remote backend mounted with UseBackend. It is the fleet
+// supervisor's graceful-degradation path: when every worker process is
+// down, the pool falls back to in-process execution — today's
+// single-process path — through this method, while the runner's memo
+// cache, journal, and counters in front of the pool stay intact.
+func (r *Runner) LocalSimulate(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, error) {
+	return r.simulate(ctx, bench, cfg)
+}
+
 // RunGuarded is Run behind the runner's parallelism budget: a call
 // that will be answered without simulating — memo cache, primed
 // journal, or joining an in-flight duplicate — proceeds immediately,

@@ -44,6 +44,19 @@ const (
 	// injected error must fall back to functional fast-forward and
 	// re-capture the file — never wrong statistics).
 	SiteCkptLoad = "ckpt.load"
+	// SiteWorkerSpawn fires in the fleet supervisor before a worker
+	// process is forked (an injected error must be absorbed by the
+	// capped-backoff restart policy, with the pool degrading to
+	// in-process execution rather than losing cells).
+	SiteWorkerSpawn = "worker.spawn"
+	// SiteWorkerHeartbeat fires in the supervisor's per-worker liveness
+	// probe (an injected error counts as a missed heartbeat; enough
+	// consecutive misses must get the worker killed and restarted).
+	SiteWorkerHeartbeat = "worker.heartbeat"
+	// SiteLeaseAcquire fires as a journal segment lease is acquired (an
+	// injected error must fail the segment open cleanly — the caller
+	// restarts or degrades, and no lease file is left behind).
+	SiteLeaseAcquire = "lease.acquire"
 )
 
 // Kind selects what an armed plan injects when it fires.

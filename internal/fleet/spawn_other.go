@@ -1,0 +1,17 @@
+//go:build !linux
+
+package fleet
+
+import (
+	"os"
+	"syscall"
+)
+
+// sysProcAttr: parent-death signals are linux-only; elsewhere the
+// supervisor's explicit SIGTERM/SIGKILL shutdown path is the only
+// lifetime tie.
+func sysProcAttr() *syscall.SysProcAttr { return nil }
+
+// termSignal is the graceful-drain signal sent before escalating to
+// a hard kill.
+func termSignal() os.Signal { return syscall.SIGTERM }

@@ -7,10 +7,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"mdspec/internal/config"
 	"mdspec/internal/experiments"
+	"mdspec/internal/retry"
 	"mdspec/internal/stats"
 )
 
@@ -19,15 +22,26 @@ import (
 // remote backend (Runner.UseBackend) and every experiment — memo
 // cache, hooks, artifacts included — runs unchanged against the
 // daemon; that is mdexp -server.
+//
+// A 503 (bounded queue at capacity) does not fail the sweep: the
+// client waits out the server's Retry-After hint — floored by the
+// deterministic capped-backoff schedule of internal/retry — and
+// resubmits, up to the policy's attempt budget.
 type Client struct {
-	base string
-	hc   *http.Client
-	meta experiments.Fingerprint
+	base  string
+	hc    *http.Client
+	meta  experiments.Fingerprint
+	retry retry.Policy
+	// sleep waits between overload retries; tests substitute a recorder
+	// so retry scheduling is asserted without wall-clock waits.
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 // NewClient returns a client for the daemon at addr (host:port or a
 // full http:// URL), stamping every request with the provenance
 // fingerprint of opt so the server can refuse mismatched cells.
+// Overload retries follow opt.Retry (zero-valued fields take the
+// retry.Default schedule).
 func NewClient(addr string, opt experiments.Options) *Client {
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
@@ -36,9 +50,34 @@ func NewClient(addr string, opt experiments.Options) *Client {
 		base: strings.TrimRight(addr, "/"),
 		// Simulations can legitimately take minutes; cancellation comes
 		// from the request context, not a transport timeout.
-		hc:   &http.Client{},
-		meta: opt.Fingerprint(),
+		hc:    &http.Client{},
+		meta:  opt.Fingerprint(),
+		retry: opt.Retry.WithDefaults(),
+		sleep: ctxSleep,
 	}
+}
+
+// ctxSleep waits d out unless ctx dies first.
+func ctxSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retryAfter parses a 503's Retry-After seconds hint (0 when absent
+// or malformed; HTTP-date values are ignored as the server never
+// sends them).
+func retryAfter(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After")))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // decodeError turns a non-2xx response into a descriptive error.
@@ -90,31 +129,54 @@ func (c *Client) Run(ctx context.Context, bench string, cfg config.Machine) (*st
 }
 
 // RunWithSource is Run, also reporting the daemon-side result source
-// (simulated / cache / dedup / journal).
+// (simulated / cache / dedup / journal). A saturated daemon (503) is
+// retried on the deterministic backoff schedule, honoring the
+// server's Retry-After hint when it is longer than the backoff.
 func (c *Client) RunWithSource(ctx context.Context, bench string, cfg config.Machine) (*stats.Run, experiments.RunSource, error) {
 	body, err := json.Marshal(RunRequest{Bench: bench, Config: cfg, Meta: &c.meta})
 	if err != nil {
 		return nil, "", err
 	}
+	for attempt := 1; ; attempt++ {
+		res, src, wait, err := c.runOnce(ctx, body, bench, cfg)
+		if err == nil || wait < 0 || attempt >= c.retry.MaxAttempts {
+			return res, src, err
+		}
+		if d := c.retry.Backoff(attempt); d > wait {
+			wait = d
+		}
+		if serr := c.sleep(ctx, wait); serr != nil {
+			return nil, "", serr
+		}
+	}
+}
+
+// runOnce performs one POST /v1/runs attempt. wait >= 0 marks a
+// retryable overload refusal (the server's Retry-After hint); -1
+// marks a final answer.
+func (c *Client) runOnce(ctx context.Context, body []byte, bench string, cfg config.Machine) (*stats.Run, experiments.RunSource, time.Duration, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/runs", bytes.NewReader(body))
 	if err != nil {
-		return nil, "", err
+		return nil, "", -1, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, "", fmt.Errorf("mdserve: %w", err)
+		return nil, "", -1, fmt.Errorf("mdserve: %w", err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return nil, "", retryAfter(resp), decodeError(resp)
+	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, "", decodeError(resp)
+		return nil, "", -1, decodeError(resp)
 	}
 	var rr RunResponse
 	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
-		return nil, "", fmt.Errorf("mdserve: decoding run response: %w", err)
+		return nil, "", -1, fmt.Errorf("mdserve: decoding run response: %w", err)
 	}
 	if rr.Record.Stats == nil {
-		return nil, "", fmt.Errorf("mdserve: response for %s under %s carries no stats", bench, cfg.Name())
+		return nil, "", -1, fmt.Errorf("mdserve: response for %s under %s carries no stats", bench, cfg.Name())
 	}
-	return rr.Record.Stats, rr.Source, nil
+	return rr.Record.Stats, rr.Source, -1, nil
 }

@@ -19,6 +19,7 @@ package server
 import (
 	"mdspec/internal/config"
 	"mdspec/internal/experiments"
+	"mdspec/internal/fleet"
 )
 
 // RunRequest is the body of POST /v1/runs: one (benchmark, machine
@@ -106,4 +107,16 @@ type MetricsResponse struct {
 	Queue         QueueMetrics               `json:"queue"`
 	UptimeSeconds float64                    `json:"uptime_seconds"`
 	JournalError  string                     `json:"journal_error,omitempty"`
+	// Fleet is the worker-process pool's health snapshot (per-worker
+	// liveness, steal, restart, and heartbeat-miss counters); absent
+	// when the daemon runs single-process.
+	Fleet *fleet.Report `json:"fleet,omitempty"`
+}
+
+// HealthzResponse is GET /v1/healthz. Degraded is present only when a
+// worker fleet is attached: true means every worker process is down
+// and cells are executing in-process until the fleet recovers.
+type HealthzResponse struct {
+	Status   string `json:"status"`
+	Degraded *bool  `json:"degraded,omitempty"`
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
 	"mdspec/internal/config"
 	"mdspec/internal/experiments"
@@ -55,10 +56,16 @@ type scheduler struct {
 	closing sync.RWMutex
 	closed  bool //md:guardedby closing
 	wg      sync.WaitGroup
+
+	// infMu guards the in-flight set: which cells workers are executing
+	// right now and since when. closeTimeout snapshots it to name the
+	// stuck cells when a bounded drain expires.
+	infMu    sync.Mutex
+	inflight map[*task]time.Time //md:guardedby infMu
 }
 
 func newScheduler(r *experiments.Runner, workers, depth int) *scheduler {
-	s := &scheduler{runner: r, tasks: make(chan *task, depth)}
+	s := &scheduler{runner: r, tasks: make(chan *task, depth), inflight: make(map[*task]time.Time)}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -78,7 +85,13 @@ func (s *scheduler) worker() {
 		if t.started != nil {
 			t.started(t)
 		}
+		s.infMu.Lock()
+		s.inflight[t] = time.Now()
+		s.infMu.Unlock()
 		res, src, err := s.runner.RunGuarded(t.ctx, t.bench, t.cfg)
+		s.infMu.Lock()
+		delete(s.inflight, t)
+		s.infMu.Unlock()
 		t.done <- taskResult{t: t, res: res, src: src, err: err} //md:ctxok task.done is buffered by the submitter with room for every result (task contract above)
 	}
 }
@@ -127,13 +140,56 @@ func (s *scheduler) queue() QueueMetrics {
 // submitter is left racing the channel close; the closed flag guards
 // stragglers either way.
 func (s *scheduler) close() {
+	s.closeTimeout(0)
+}
+
+// StuckCell names one in-flight cell that outlived the drain timeout:
+// the daemon's exit-1 snapshot of exactly what was abandoned.
+type StuckCell struct {
+	Bench          string  `json:"bench"`
+	Config         string  `json:"config"`
+	RunningSeconds float64 `json:"running_seconds"`
+}
+
+// closeTimeout is close bounded by d (d <= 0 waits forever): if the
+// drain outlives d, it returns a snapshot of the cells still running
+// instead of blocking on them. Everything that finished before the
+// timeout has already reached the journal; the stuck cells are the
+// wedge the bounded drain exists to escape.
+func (s *scheduler) closeTimeout(d time.Duration) []StuckCell {
 	s.closing.Lock()
 	if s.closed {
 		s.closing.Unlock()
-		return
+		return nil
 	}
 	s.closed = true
 	s.closing.Unlock()
 	close(s.tasks)
-	s.wg.Wait()
+	if d <= 0 {
+		s.wg.Wait()
+		return nil
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	deadline := time.NewTimer(d)
+	defer deadline.Stop()
+	select {
+	case <-drained: //md:ctxok drain completion is the event being awaited; the timer below bounds it
+		return nil
+	case <-deadline.C: //md:ctxok the deadline is the bound on this wait
+	}
+	s.infMu.Lock()
+	defer s.infMu.Unlock()
+	stuck := make([]StuckCell, 0, len(s.inflight))
+	for t, since := range s.inflight { //md:orderindependent snapshot of a set
+		stuck = append(stuck, StuckCell{
+			Bench:          t.bench,
+			Config:         t.cfg.Name(),
+			RunningSeconds: time.Since(since).Seconds(),
+		})
+	}
+	return stuck
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"mdspec/internal/experiments"
+	"mdspec/internal/fleet"
 	"mdspec/internal/workload"
 )
 
@@ -49,6 +50,16 @@ type Server struct {
 	mux    *http.ServeMux
 	start  time.Time
 	eps    map[string]*endpointStats
+	fleet  Fleet // nil when running single-process
+}
+
+// Fleet is the health/metrics surface a worker-process pool exposes to
+// the server (satisfied by *fleet.Pool). When attached, /v1/healthz
+// reports the pool's degraded flag and /v1/metrics embeds its
+// per-worker liveness, steal, and restart counters.
+type Fleet interface {
+	Report() fleet.Report
+	Degraded() bool
 }
 
 // endpointStats is one route's atomic request accounting.
@@ -93,6 +104,10 @@ func New(cfg Config) *Server {
 // journal and for counter assertions in tests.
 func (s *Server) Runner() *experiments.Runner { return s.runner }
 
+// AttachFleet connects a worker-process pool's health surface. Call
+// before serving: the healthz and metrics handlers read it unlocked.
+func (s *Server) AttachFleet(f Fleet) { s.fleet = f }
+
 // Workers reports the scheduler pool size after defaulting.
 func (s *Server) Workers() int { return s.cfg.Workers }
 
@@ -106,6 +121,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // finish — and reach the journal — before Close returns, which is the
 // daemon's graceful-drain guarantee.
 func (s *Server) Close() { s.sched.close() }
+
+// CloseTimeout is Close bounded by d (d <= 0 waits forever). A
+// non-empty result names the in-flight cells that outlived the drain:
+// everything else finished and reached the journal, and the caller
+// should report the stuck cells and exit non-zero.
+func (s *Server) CloseTimeout(d time.Duration) []StuckCell {
+	return s.sched.closeTimeout(d)
+}
 
 // route registers a handler wrapped with per-endpoint metrics.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
@@ -161,7 +184,17 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := HealthzResponse{Status: "ok"}
+	if s.fleet != nil {
+		degraded := s.fleet.Degraded()
+		resp.Degraded = &degraded
+		if degraded {
+			// Still 200: the daemon serves traffic (in-process fallback),
+			// but operators and load balancers can see the fleet is gone.
+			resp.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleOptions(w http.ResponseWriter, r *http.Request) {
@@ -190,6 +223,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.runner.JournalErr(); err != nil {
 		m.JournalError = err.Error()
+	}
+	if s.fleet != nil {
+		rep := s.fleet.Report()
+		m.Fleet = &rep
 	}
 	writeJSON(w, http.StatusOK, m)
 }
